@@ -1,0 +1,61 @@
+// Ablation A4 — FMTCP vs the related-work coding baselines (§II/§III-B):
+// HMTP's stop-and-wait fountain and fixed-rate FEC with ARQ top-ups.
+//
+// Two regimes: (1) heterogeneous paths (Table-I case 3), where a good
+// path can mask fixed-rate's weakness; (2) both paths lossy with the
+// loss rate underestimated — the Eq. 5–6 regime where fixed-rate needs
+// ARQ rounds while the rateless fountain just keeps streaming.
+#include <cstdio>
+
+#include "harness/printer.h"
+#include "harness/runner.h"
+#include "harness/table1.h"
+
+using namespace fmtcp;
+using namespace fmtcp::harness;
+
+namespace {
+
+void run_regime(const char* title, const Scenario& scenario,
+                const ProtocolOptions& options) {
+  print_header(title);
+  std::vector<std::vector<std::string>> rows;
+  for (Protocol protocol : {Protocol::kFmtcp, Protocol::kHmtp,
+                            Protocol::kFixedRate, Protocol::kMptcp}) {
+    const RunResult r = run_scenario(protocol, scenario, options);
+    rows.push_back({protocol_name(protocol), fmt(r.goodput_MBps, 3),
+                    fmt(r.mean_delay_ms, 0), fmt(r.jitter_ms, 0),
+                    fmt(r.max_delay_ms, 0),
+                    fmt(r.coding_overhead(ProtocolOptions::defaults().fmtcp.block_symbols) * 100, 1)});
+  }
+  print_table({"protocol", "goodput(MB/s)", "delay(ms)", "jitter(ms)",
+               "max delay(ms)", "overhead(%)"},
+              rows);
+}
+
+}  // namespace
+
+int main() {
+  {
+    Scenario scenario = table1_scenario(2);
+    scenario.duration = 60 * kSecond;
+    run_regime("Ablation A4a: heterogeneous paths (case 3: 100ms, 10%)",
+               scenario, ProtocolOptions::defaults());
+  }
+  {
+    Scenario scenario;
+    scenario.path1 = {100.0, 0.15};
+    scenario.path2 = {100.0, 0.15};
+    scenario.duration = 60 * kSecond;
+    scenario.seed = 9;
+    ProtocolOptions options = ProtocolOptions::defaults();
+    options.fixed_rate.assumed_loss = 0.02;  // Underestimated (Eq. 5-6).
+    run_regime(
+        "Ablation A4b: both paths 15% lossy, fixed-rate assumes 2%",
+        scenario, options);
+    std::printf(
+        "\nThe fixed-rate scheme's delay tail reflects its ARQ top-up "
+        "rounds (Eq. 5-6 regime: loss underestimated).\n");
+  }
+  return 0;
+}

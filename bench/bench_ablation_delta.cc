@@ -1,0 +1,32 @@
+// Ablation A2 — δ̂ sweep: the maximum acceptable decoding-failure
+// probability trades redundancy (symbols sent beyond k̂) against
+// stop-and-wait stalls (a too-strict δ̂ front-loads margin symbols; a
+// loose δ̂ risks decode failures that cost a feedback round trip).
+#include "harness/printer.h"
+#include "harness/runner.h"
+#include "harness/table1.h"
+
+using namespace fmtcp;
+using namespace fmtcp::harness;
+
+int main() {
+  print_header("Ablation A2: delta_hat sweep on test case 3 (100ms, 10%)");
+
+  std::vector<std::vector<std::string>> rows;
+  for (double delta : {0.30, 0.10, 0.05, 0.01, 0.001}) {
+    Scenario scenario = table1_scenario(2);
+    scenario.duration = 60 * kSecond;
+    ProtocolOptions options = ProtocolOptions::defaults();
+    options.fmtcp.delta_hat = delta;
+    const RunResult r = run_scenario(Protocol::kFmtcp, scenario, options);
+    rows.push_back({fmt(delta, 3),
+                    fmt(options.fmtcp.delta_margin_symbols(), 2),
+                    fmt(r.goodput_MBps, 3), fmt(r.mean_delay_ms, 0),
+                    fmt(r.jitter_ms, 0),
+                    fmt(r.coding_overhead(ProtocolOptions::defaults().fmtcp.block_symbols) * 100, 1)});
+  }
+  print_table({"delta_hat", "margin(sym)", "goodput(MB/s)", "delay(ms)",
+               "jitter(ms)", "overhead(%)"},
+              rows);
+  return 0;
+}

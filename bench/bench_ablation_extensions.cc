@@ -1,0 +1,117 @@
+// Ablation A5 — the extension features beyond the paper's baseline:
+// SACK, CUBIC, delayed ACKs, the systematic fountain code, coupled LIA,
+// and MPTCP opportunistic reinjection. Each is toggled on the default
+// operating point (Table-I case 3 unless noted) to show its marginal
+// effect — including how much of FMTCP's advantage a *modernised* MPTCP
+// (SACK + reinjection) claws back.
+#include <cstdio>
+
+#include "harness/printer.h"
+#include "harness/runner.h"
+#include "harness/table1.h"
+
+using namespace fmtcp;
+using namespace fmtcp::harness;
+
+namespace {
+
+std::vector<std::string> row(const char* name, const RunResult& r) {
+  return {name,
+          fmt(r.goodput_MBps, 3),
+          fmt(r.mean_delay_ms, 0),
+          fmt(r.jitter_ms, 0),
+          fmt(r.max_delay_ms, 0)};
+}
+
+}  // namespace
+
+int main() {
+  Scenario scenario = table1_scenario(2);  // 100 ms, 10%.
+  scenario.duration = 60 * kSecond;
+
+  {
+    print_header("FMTCP variants (case 3: 100ms, 10%)");
+    std::vector<std::vector<std::string>> rows;
+    {
+      const RunResult r = run_scenario(Protocol::kFmtcp, scenario);
+      rows.push_back(row("baseline (Reno, dense code)", r));
+    }
+    {
+      ProtocolOptions o = ProtocolOptions::defaults();
+      o.sack = true;
+      rows.push_back(row("+ SACK", run_scenario(Protocol::kFmtcp,
+                                                scenario, o)));
+    }
+    {
+      ProtocolOptions o = ProtocolOptions::defaults();
+      o.fmtcp.systematic = true;
+      rows.push_back(row("+ systematic code",
+                         run_scenario(Protocol::kFmtcp, scenario, o)));
+    }
+    {
+      ProtocolOptions o = ProtocolOptions::defaults();
+      o.subflow.congestion = tcp::CongestionAlgo::kCubic;
+      rows.push_back(row("+ CUBIC", run_scenario(Protocol::kFmtcp,
+                                                 scenario, o)));
+    }
+    {
+      ProtocolOptions o = ProtocolOptions::defaults();
+      o.fmtcp_use_lia = true;
+      rows.push_back(row("+ LIA coupling",
+                         run_scenario(Protocol::kFmtcp, scenario, o)));
+    }
+    {
+      ProtocolOptions o = ProtocolOptions::defaults();
+      o.delayed_acks = true;
+      rows.push_back(row("+ delayed ACKs",
+                         run_scenario(Protocol::kFmtcp, scenario, o)));
+    }
+    print_table({"variant", "goodput(MB/s)", "delay(ms)", "jitter(ms)",
+                 "max delay(ms)"},
+                rows);
+  }
+
+  {
+    print_header("IETF-MPTCP variants (case 3), vs FMTCP baseline");
+    std::vector<std::vector<std::string>> rows;
+    const RunResult fmtcp_base = run_scenario(Protocol::kFmtcp, scenario);
+    rows.push_back(row("FMTCP baseline (reference)", fmtcp_base));
+    {
+      rows.push_back(row("MPTCP baseline",
+                         run_scenario(Protocol::kMptcp, scenario)));
+    }
+    {
+      ProtocolOptions o = ProtocolOptions::defaults();
+      o.sack = true;
+      rows.push_back(row("MPTCP + SACK",
+                         run_scenario(Protocol::kMptcp, scenario, o)));
+    }
+    {
+      ProtocolOptions o = ProtocolOptions::defaults();
+      o.mptcp_reinjection = true;
+      rows.push_back(row("MPTCP + reinjection",
+                         run_scenario(Protocol::kMptcp, scenario, o)));
+    }
+    {
+      ProtocolOptions o = ProtocolOptions::defaults();
+      o.sack = true;
+      o.mptcp_reinjection = true;
+      rows.push_back(row("MPTCP + SACK + reinjection",
+                         run_scenario(Protocol::kMptcp, scenario, o)));
+    }
+    {
+      ProtocolOptions o = ProtocolOptions::defaults();
+      o.mptcp_use_lia = true;
+      rows.push_back(row("MPTCP + LIA",
+                         run_scenario(Protocol::kMptcp, scenario, o)));
+    }
+    print_table({"variant", "goodput(MB/s)", "delay(ms)", "jitter(ms)",
+                 "max delay(ms)"},
+                rows);
+    std::printf(
+        "\nEven a modernised MPTCP narrows but does not close the gap: "
+        "retransmissions still anchor urgent data to the lossy path,\n"
+        "whereas FMTCP replaces them with fungible symbols.\n");
+  }
+  return 0;
+}

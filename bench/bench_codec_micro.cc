@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark): fountain codec throughput vs k̂
+// and symbol size — the §III-B "coding complexity" constraint on
+// choosing the block size.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fountain/decoder.h"
+#include "fountain/lt_codec.h"
+#include "fountain/random_linear.h"
+
+namespace {
+
+using namespace fmtcp;
+using namespace fmtcp::fountain;
+
+void BM_EncodeSymbol(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const auto symbol_bytes = static_cast<std::size_t>(state.range(1));
+  RandomLinearEncoder encoder(1, make_deterministic_block(1, k, symbol_bytes),
+                              Rng(7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.next_symbol());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(symbol_bytes));
+}
+BENCHMARK(BM_EncodeSymbol)
+    ->Args({16, 160})
+    ->Args({64, 160})
+    ->Args({128, 160})
+    ->Args({64, 1024});
+
+void BM_DecodeBlock(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const auto symbol_bytes = static_cast<std::size_t>(state.range(1));
+  Rng rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    RandomLinearEncoder encoder(1, make_deterministic_block(1, k, symbol_bytes),
+                                rng.fork());
+    std::vector<net::EncodedSymbol> symbols;
+    for (std::uint32_t i = 0; i < k + 8; ++i) {
+      symbols.push_back(encoder.next_symbol());
+    }
+    state.ResumeTiming();
+
+    BlockDecoder decoder(k, symbol_bytes, /*track_data=*/true);
+    for (const auto& symbol : symbols) {
+      if (decoder.complete()) break;
+      decoder.add_symbol(symbol);
+    }
+    // ~2^-8 of iterations the k+8 symbols are rank-deficient; skip those.
+    if (decoder.complete()) benchmark::DoNotOptimize(decoder.decode());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k) *
+                          static_cast<std::int64_t>(symbol_bytes));
+}
+BENCHMARK(BM_DecodeBlock)
+    ->Args({16, 160})
+    ->Args({64, 160})
+    ->Args({128, 160});
+
+void BM_RankOnlyDecode(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(13);
+  for (auto _ : state) {
+    state.PauseTiming();
+    RandomLinearEncoder encoder(1, k, 1, rng.fork());
+    std::vector<net::EncodedSymbol> symbols;
+    for (std::uint32_t i = 0; i < k + 8; ++i) {
+      symbols.push_back(encoder.next_symbol());
+    }
+    state.ResumeTiming();
+
+    BlockDecoder decoder(k, 1, /*track_data=*/false);
+    for (const auto& symbol : symbols) {
+      if (decoder.complete()) break;
+      decoder.add_symbol(symbol);
+    }
+    benchmark::DoNotOptimize(decoder.rank());
+  }
+}
+BENCHMARK(BM_RankOnlyDecode)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LtDecodeBlock(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const RobustSoliton dist(k, 0.1, 0.05);
+  Rng rng(17);
+  for (auto _ : state) {
+    state.PauseTiming();
+    LtEncoder encoder(1, make_deterministic_block(1, k, 160), dist,
+                      rng.fork());
+    state.ResumeTiming();
+    LtDecoder decoder(k, 160, dist);
+    while (!decoder.complete()) {
+      decoder.add_symbol(encoder.next_symbol());
+    }
+    benchmark::DoNotOptimize(decoder.recovered());
+  }
+}
+BENCHMARK(BM_LtDecodeBlock)->Arg(64)->Arg(256);
+
+void BM_CoefficientsFromSeed(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coefficients_from_seed(seed++, k));
+  }
+}
+BENCHMARK(BM_CoefficientsFromSeed)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Figure 4 — Goodput-rate time series under an abrupt loss surge on
+// subflow 2: 1% initially, surging to 25% (a) / 35% (b) at t=50 s and
+// back to 1% at t=200 s; 100 ms delay on both paths.
+//
+// Paper shape: IETF-MPTCP's rate fluctuates severely during the surge
+// (at 35% it barely works), while FMTCP degrades gracefully and stays
+// stable, recovering immediately when the surge ends.
+//
+// Two variants are printed. The paper sets BOTH paths to 1% initial
+// loss; at this simulator's Reno parameters a 1%-lossy path 1 is itself
+// Mathis-limited, which compresses the contrast, so the headline run
+// keeps path 1 clean (the blocking mechanism under test is unchanged —
+// see DESIGN.md) and the paper-literal 1%/1% run follows.
+#include <cmath>
+#include <cstdio>
+
+#include "harness/printer.h"
+#include "harness/runner.h"
+
+using namespace fmtcp;
+using namespace fmtcp::harness;
+
+namespace {
+
+void run_variant(const char* name, double path1_loss, double surge) {
+  Scenario scenario;
+  scenario.path1 = {100.0, path1_loss};
+  scenario.path2 = {100.0, 0.01};
+  scenario.duration = 300 * kSecond;
+  scenario.seed = 42;
+  scenario.path2_loss_schedule = {
+      {0, 0.01}, {50 * kSecond, surge}, {200 * kSecond, 0.01}};
+
+  const RunResult fmtcp_run = run_scenario(Protocol::kFmtcp, scenario);
+  const RunResult mptcp_run = run_scenario(Protocol::kMptcp, scenario);
+
+  std::printf("\n-- %s: surge to %.0f%% during [50s,200s) --\n", name,
+              surge * 100);
+  std::printf("t(s)\tFMTCP(MB/s)\tMPTCP(MB/s)\n");
+  const auto window_avg = [](const std::vector<double>& v, std::size_t i) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t j = i; j < i + 10 && j < v.size(); ++j, ++n) {
+      sum += v[j];
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  };
+  for (std::size_t t = 0; t < 300; t += 10) {
+    std::printf("%zu\t%.4f\t%.4f\n", t,
+                window_avg(fmtcp_run.goodput_series_MBps, t),
+                window_avg(mptcp_run.goodput_series_MBps, t));
+  }
+
+  // Stability during the surge: stddev of the 1-second rates in
+  // [60s, 200s) (skipping 10 s of transient).
+  const auto stability = [](const std::vector<double>& v) {
+    double mean = 0.0;
+    std::size_t n = 0;
+    for (std::size_t t = 60; t < 200 && t < v.size(); ++t, ++n) {
+      mean += v[t];
+    }
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t t = 60; t < 200 && t < v.size(); ++t) {
+      var += (v[t] - mean) * (v[t] - mean);
+    }
+    return std::pair<double, double>(
+        mean, std::sqrt(var / static_cast<double>(n)));
+  };
+  const auto [f_mean, f_sd] = stability(fmtcp_run.goodput_series_MBps);
+  const auto [m_mean, m_sd] = stability(mptcp_run.goodput_series_MBps);
+  std::printf(
+      "during surge: FMTCP %.3f±%.3f MB/s, MPTCP %.3f±%.3f MB/s "
+      "(coef.var. %.2f vs %.2f)\n",
+      f_mean, f_sd, m_mean, m_sd, f_sd / f_mean, m_sd / m_mean);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 4: goodput rate under abrupt subflow-2 loss surge");
+  run_variant("Fig 4(a)", 0.0, 0.25);
+  run_variant("Fig 4(b)", 0.0, 0.35);
+  run_variant("Fig 4(a) paper-literal (path1 loss 1%)", 0.01, 0.25);
+  run_variant("Fig 4(b) paper-literal (path1 loss 1%)", 0.01, 0.35);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Microbenchmarks (google-benchmark): event-scheduler and end-to-end
+// simulation throughput — how many simulated seconds per wall second the
+// substrate sustains.
+#include <benchmark/benchmark.h>
+
+#include "core/connection.h"
+#include "net/topology.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace fmtcp;
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  // Schedule + execute one event per iteration (self-perpetuating chain).
+  sim::Simulator sim(1);
+  SimTime t = 0;
+  for (auto _ : state) {
+    sim.schedule_at(++t, [] {});
+    benchmark::DoNotOptimize(sim.step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SchedulerChurn);
+
+void BM_SchedulerDeepQueue(benchmark::State& state) {
+  // Heap behaviour with many pending events.
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim(1);
+    for (std::size_t i = 0; i < depth; ++i) {
+      sim.schedule_at(static_cast<SimTime>(i + 1), [] {});
+    }
+    state.ResumeTiming();
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_SchedulerDeepQueue)->Arg(1000)->Arg(100000);
+
+void BM_TimerRearm(benchmark::State& state) {
+  sim::Simulator sim(1);
+  sim::Timer timer(sim, [] {});
+  SimTime t = 0;
+  for (auto _ : state) {
+    timer.schedule_at(++t + kSecond);  // Cancels + reschedules.
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TimerRearm);
+
+void BM_FmtcpSimulatedSecond(benchmark::State& state) {
+  // Full-stack cost of one simulated second of FMTCP over two paths
+  // (payload mode: real GF(2) encoding + decoding included).
+  const bool payload = state.range(0) != 0;
+  sim::Simulator sim(1);
+  net::PathConfig path1;
+  path1.one_way_delay = from_ms(100);
+  path1.bandwidth_Bps = 0.625e6;
+  net::PathConfig path2 = path1;
+  path2.loss_rate = 0.1;
+  net::Topology topology(sim, {path1, path2});
+
+  core::FmtcpConnectionConfig config;
+  config.params.block_symbols = 128;
+  config.params.symbol_bytes = 160;
+  config.params.carry_payload = payload;
+  config.subflow.mss_payload = 7 * config.params.symbol_wire_bytes();
+  core::FmtcpConnection connection(sim, topology, config);
+  connection.start();
+
+  for (auto _ : state) {
+    sim.run_until(sim.now() + kSecond);
+  }
+  state.SetLabel(payload ? "payload" : "rank-only");
+  state.counters["blocks/s"] = benchmark::Counter(
+      static_cast<double>(connection.receiver().blocks_delivered()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FmtcpSimulatedSecond)->Arg(1)->Arg(0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Byte-stream API: carry real application bytes (not synthetic blocks)
+// over FMTCP, with an application that trickles data in while the
+// connection runs — the closest example to how a downstream user would
+// embed the library.
+#include <cstdio>
+#include <string>
+
+#include "core/connection.h"
+#include "core/stream.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+using namespace fmtcp;
+
+int main() {
+  sim::Simulator simulator(7);
+
+  net::PathConfig path1;
+  path1.one_way_delay = from_ms(100);
+  path1.bandwidth_Bps = 0.625e6;
+  net::PathConfig path2 = path1;
+  path2.one_way_delay = from_ms(40);
+  path2.loss_rate = 0.10;
+  net::Topology topology(simulator, {path1, path2});
+
+  core::FmtcpConnectionConfig config;
+  config.params.block_symbols = 64;
+  config.params.symbol_bytes = 160;
+  config.subflow.mss_payload = 7 * config.params.symbol_wire_bytes();
+
+  // Application plumbing: a writer feeding blocks, a reader emitting the
+  // byte stream on arrival.
+  core::FmtcpStreamWriter writer(config.params.block_symbols,
+                                 config.params.symbol_bytes);
+  std::string received;
+  core::FmtcpStreamReader reader(
+      [&](const std::uint8_t* data, std::size_t size) {
+        received.append(reinterpret_cast<const char*>(data), size);
+      });
+  config.source = &writer;
+  config.block_sink = &reader;
+
+  core::FmtcpConnection connection(simulator, topology, config);
+  writer.attach(&connection.sender());
+  connection.start();
+
+  // The "application": a log producer writing one record every 50 ms
+  // for 20 seconds, flushing once per second so records ship with
+  // bounded latency instead of waiting for a 10 KB block to fill.
+  std::string sent;
+  for (int i = 0; i < 400; ++i) {
+    simulator.schedule_at(i * from_ms(50), [&, i] {
+      char record[64];
+      std::snprintf(record, sizeof(record),
+                    "record %04d at t=%.2fs: sensor=%d\n", i,
+                    to_seconds(simulator.now()), (i * 37) % 100);
+      sent += record;
+      writer.write(record);
+      if (i % 20 == 19) writer.flush();
+    });
+  }
+  simulator.schedule_at(20 * kSecond + kMillisecond,
+                        [&] { writer.close(); });
+  simulator.run_until(40 * kSecond);
+
+  std::printf("sent:     %zu bytes in 400 records over 20 s\n",
+              sent.size());
+  std::printf("received: %zu bytes, %s\n", received.size(),
+              received == sent ? "byte-identical" : "MISMATCH");
+  std::printf("blocks:   %llu delivered in order, framing %s\n",
+              static_cast<unsigned long long>(reader.blocks_received()),
+              reader.framing_ok() ? "ok" : "BROKEN");
+  std::printf("\nfirst record:  %s", received.substr(0, 40).c_str());
+  std::printf("last record:   %s",
+              received.substr(received.rfind("record")).c_str());
+  return 0;
+}

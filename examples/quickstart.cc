@@ -1,0 +1,63 @@
+// Quickstart: one FMTCP connection over two heterogeneous paths.
+//
+// Builds the paper's two-disjoint-path topology (a clean 100 ms path and
+// a lossy one), streams data for 30 simulated seconds, and prints the
+// goodput and block-delay metrics. Start here to see the public API:
+//   Simulator -> Topology -> FmtcpConnection -> run -> metrics.
+#include <cstdio>
+
+#include "core/connection.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+using namespace fmtcp;
+
+int main() {
+  // 1. One Simulator per run; the seed fixes every random draw.
+  sim::Simulator simulator(/*seed=*/1);
+
+  // 2. Two disjoint paths: path 1 clean, path 2 lossy.
+  net::PathConfig path1;
+  path1.one_way_delay = from_ms(100);
+  path1.loss_rate = 0.0;
+  path1.bandwidth_Bps = 0.625e6;  // 5 Mb/s.
+
+  net::PathConfig path2 = path1;
+  path2.loss_rate = 0.10;
+
+  net::Topology topology(simulator, {path1, path2});
+
+  // 3. FMTCP connection: fountain-coded blocks of 64 x 160 B symbols,
+  //    delta-hat = 5% decoding-failure threshold.
+  core::FmtcpConnectionConfig config;
+  config.params.block_symbols = 64;
+  config.params.symbol_bytes = 160;
+  config.params.delta_hat = 0.05;
+  config.subflow.mss_payload = 7 * config.params.symbol_wire_bytes();
+
+  core::FmtcpConnection connection(simulator, topology, config);
+  connection.start();
+
+  // 4. Run 30 simulated seconds.
+  simulator.run_until(30 * kSecond);
+
+  // 5. Read the metrics.
+  std::printf("delivered:   %llu blocks (%.2f MB), all in order\n",
+              static_cast<unsigned long long>(
+                  connection.receiver().blocks_delivered()),
+              static_cast<double>(connection.goodput().total_bytes()) / 1e6);
+  std::printf("goodput:     %.3f MB/s\n",
+              connection.goodput().mean_rate_MBps(30 * kSecond));
+  std::printf("block delay: %.1f ms mean, %.1f ms jitter\n",
+              connection.block_delays().mean_delay_ms(),
+              connection.block_delays().jitter_ms());
+  std::printf("payload:     %s\n", connection.receiver().payload_verified()
+                                       ? "verified byte-exact"
+                                       : "CORRUPT");
+  std::printf("per subflow: path1 sent %llu segments, path2 sent %llu\n",
+              static_cast<unsigned long long>(
+                  connection.subflow(0).segments_sent()),
+              static_cast<unsigned long long>(
+                  connection.subflow(1).segments_sent()));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Video streaming: the multimedia workload the paper's conclusion argues
+// FMTCP suits ("suitable for multimedia transportation and real-time
+// applications with low delay and jitter").
+//
+// Each 10 KB block is treated as one video frame. A frame is useful only
+// if its delivery delay fits the receiver's playout buffer; we compare
+// FMTCP and IETF-MPTCP on late-frame ratio across playout budgets while
+// one network path is a flaky wireless link.
+#include <cstdio>
+
+#include "harness/printer.h"
+#include "harness/runner.h"
+
+using namespace fmtcp;
+using namespace fmtcp::harness;
+
+namespace {
+
+double late_ratio(const std::vector<double>& delays_ms, double budget_ms) {
+  if (delays_ms.empty()) return 1.0;
+  std::size_t late = 0;
+  for (double d : delays_ms) {
+    if (d > budget_ms) ++late;
+  }
+  return static_cast<double>(late) / static_cast<double>(delays_ms.size());
+}
+
+}  // namespace
+
+int main() {
+  // Wired path (clean) + flaky wireless path (12% loss, shorter delay).
+  Scenario scenario;
+  scenario.path1 = {100.0, 0.0};
+  scenario.path2 = {40.0, 0.12};
+  scenario.duration = 120 * kSecond;
+  scenario.seed = 7;
+
+  const RunResult fmtcp_run = run_scenario(Protocol::kFmtcp, scenario);
+  const RunResult mptcp_run = run_scenario(Protocol::kMptcp, scenario);
+
+  print_header("Video streaming over wired + flaky wireless");
+  std::printf("frames delivered: FMTCP %llu, MPTCP %llu (120 s)\n",
+              static_cast<unsigned long long>(fmtcp_run.blocks_completed),
+              static_cast<unsigned long long>(mptcp_run.blocks_completed));
+  std::printf("frame delay:      FMTCP %.0f ms mean / %.0f ms jitter, "
+              "MPTCP %.0f ms mean / %.0f ms jitter\n\n",
+              fmtcp_run.mean_delay_ms, fmtcp_run.jitter_ms,
+              mptcp_run.mean_delay_ms, mptcp_run.jitter_ms);
+
+  std::vector<std::vector<std::string>> rows;
+  for (double budget : {300.0, 400.0, 500.0, 750.0, 1000.0}) {
+    rows.push_back(
+        {fmt(budget, 0),
+         fmt(late_ratio(fmtcp_run.block_delays_ms, budget) * 100, 2),
+         fmt(late_ratio(mptcp_run.block_delays_ms, budget) * 100, 2)});
+  }
+  print_table({"playout budget(ms)", "FMTCP late(%)", "MPTCP late(%)"},
+              rows);
+
+  std::printf(
+      "\nA smaller playout buffer means lower glass-to-glass latency; "
+      "FMTCP's flat per-frame delay keeps frames inside tight budgets "
+      "where MPTCP's loss-driven spikes miss them.\n");
+  return 0;
+}

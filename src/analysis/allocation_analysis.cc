@@ -1,0 +1,51 @@
+#include "analysis/allocation_analysis.h"
+
+#include "common/check.h"
+
+namespace fmtcp::analysis {
+
+namespace {
+void check_loss(double p) { FMTCP_CHECK(p >= 0.0 && p < 1.0); }
+}  // namespace
+
+double expected_response_time(double rtt, double rto, double p) {
+  check_loss(p);
+  return (1.0 - p) * rtt + p * rto;
+}
+
+double sedt(double r, double R, double p) {
+  check_loss(p);
+  return p * R / (1.0 - p) + r / 2.0;
+}
+
+double edt_single(double r, double p) {
+  check_loss(p);
+  return (1.0 + p) * r / (2.0 * (1.0 - p));
+}
+
+double lemma1_min_r2(double r1, double p1, double p2) {
+  check_loss(p1);
+  check_loss(p2);
+  const double factor = (1.0 + p1) * (1.0 - p2) /
+                            ((1.0 - p1) * (1.0 + p2)) +
+                        2.0 / (1.0 + p2);
+  return factor * r1;
+}
+
+double diversity_m(double r1, double p1, double r2, double p2) {
+  return sedt(r2, r2, p2) / sedt(r1, r1, p1);
+}
+
+double theorem3_ratio_bound(double p1, double p2, double m) {
+  check_loss(p1);
+  check_loss(p2);
+  return p2 + 2.0 * (1.0 - p1) / (1.0 + p1) + (1.0 - p2) * m;
+}
+
+double fmtcp_advantage_threshold(double p1, double p2) {
+  check_loss(p1);
+  FMTCP_CHECK(p2 > 0.0 && p2 < 1.0);
+  return 1.0 + 2.0 * (1.0 - p1) / (p2 * (1.0 + p1));
+}
+
+}  // namespace fmtcp::analysis

@@ -1,0 +1,36 @@
+// Closed-form allocation analysis of paper §IV-C (Eq. 10–18,
+// Theorems 1–3): SEDT, the Lemma-1 condition, and the Theorem-3 bound on
+// the cross-subflow delivery-time ratio.
+#pragma once
+
+namespace fmtcp::analysis {
+
+/// Eq. 10 — expected response time RT = (1-p)·RTT + p·RTO. Times in
+/// arbitrary units (callers use seconds).
+double expected_response_time(double rtt, double rto, double p);
+
+/// Eq. 13 — Single-path Expected Delivery Time for a path with round-trip
+/// time r, RTO R, loss p: SEDT = p·R/(1-p) + r/2.
+double sedt(double r, double R, double p);
+
+/// EDT estimate used in the Lemma-1 proof (r ≈ R):
+/// EDT ≈ (1+p) r / (2(1-p)).
+double edt_single(double r, double p);
+
+/// Lemma 1 — minimum r2 such that symbols lost on subflow 2 are only
+/// appended on subflow 1:
+/// r2 >= [ (1+p1)(1-p2) / ((1-p1)(1+p2)) + 2/(1+p2) ] · r1.
+double lemma1_min_r2(double r1, double p1, double p2);
+
+/// m — the path-diversity ratio SEDT2 / SEDT1 (with r ≈ R on each path).
+double diversity_m(double r1, double p1, double r2, double p2);
+
+/// Eq. 17 (Theorem 3) — upper bound on E(T2)/E(T1) under FMTCP:
+/// p2 + 2(1-p1)/(1+p1) + (1-p2)·m.
+double theorem3_ratio_bound(double p1, double p2, double m);
+
+/// Threshold on m beyond which FMTCP's ratio bound beats MPTCP's exact
+/// ratio (which is m): m > 1 + 2(1-p1)/(p2(1+p1)).
+double fmtcp_advantage_threshold(double p1, double p2);
+
+}  // namespace fmtcp::analysis

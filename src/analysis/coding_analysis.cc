@@ -1,0 +1,87 @@
+#include "analysis/coding_analysis.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fmtcp::analysis {
+
+namespace {
+void check_loss(double p) { FMTCP_CHECK(p >= 0.0 && p < 1.0); }
+}  // namespace
+
+double expected_packets_delivered(std::uint32_t A, double p1) {
+  check_loss(p1);
+  return static_cast<double>(A) / (1.0 - p1);
+}
+
+double fixed_rate_batch(std::uint32_t A, double p1) {
+  return expected_packets_delivered(A, p1);
+}
+
+double expected_actual_delivered(std::uint32_t A, double p1, double p2) {
+  check_loss(p2);
+  return (1.0 - p2) * fixed_rate_batch(A, p1);
+}
+
+double no_retransmission_probability_bound(std::uint32_t A, double p1,
+                                           double p2) {
+  check_loss(p1);
+  check_loss(p2);
+  FMTCP_CHECK(p2 >= p1);
+  const double num = (p2 - p1) * (p2 - p1) * static_cast<double>(A);
+  const double den = 3.0 * (1.0 - p1) * (1.0 - p2);
+  return std::exp(-num / den);
+}
+
+double fountain_expected_symbols_bound(std::uint32_t k_hat, double p) {
+  check_loss(p);
+  return (static_cast<double>(k_hat) + 4.0) / (1.0 - p);
+}
+
+double expected_symbols_to_decode(std::uint32_t k_hat) {
+  FMTCP_CHECK(k_hat >= 1);
+  // At rank r, a fresh coefficient vector is innovative unless it falls
+  // in the current row space. The encoder never emits the all-zero
+  // vector (it re-draws), so of the 2^k̂ - 1 possible vectors, 2^r - 1
+  // are non-innovative: p = (2^k̂ - 2^r) / (2^k̂ - 1). The wait per rank
+  // is geometric. For k̂ ≳ 16 this matches the classic
+  // sum 1/(1 - 2^(r-k̂)) to within 1e-4.
+  const double total = std::exp2(static_cast<double>(k_hat)) - 1.0;
+  double expected = 0.0;
+  for (std::uint32_t r = 0; r < k_hat; ++r) {
+    const double innovative =
+        std::exp2(static_cast<double>(k_hat)) -
+        std::exp2(static_cast<double>(r));
+    expected += total / innovative;
+  }
+  return expected;
+}
+
+double no_retransmission_probability_exact(std::uint32_t A, double p1,
+                                           double p2) {
+  check_loss(p1);
+  check_loss(p2);
+  const auto a = static_cast<std::uint32_t>(
+      std::ceil(fixed_rate_batch(A, p1)));
+  if (a < A) return 0.0;
+  // P(Binomial(a, 1-p2) >= A), summed from the tail in log space.
+  const double log_q = std::log(1.0 - p2);
+  const double log_p = p2 > 0.0 ? std::log(p2) : 0.0;
+  double total = 0.0;
+  double log_choose = 0.0;  // log C(a, a) = 0; iterate k = a down to A.
+  for (std::uint32_t k = a;; --k) {
+    // log C(a, k) built incrementally: C(a,k-1) = C(a,k) * k / (a-k+1).
+    const double log_term =
+        log_choose + static_cast<double>(k) * log_q +
+        (p2 > 0.0 ? static_cast<double>(a - k) * log_p
+                  : (a == k ? 0.0 : -1e300));
+    total += std::exp(log_term);
+    if (k == A) break;
+    log_choose += std::log(static_cast<double>(k)) -
+                  std::log(static_cast<double>(a - k + 1));
+  }
+  return total > 1.0 ? 1.0 : total;
+}
+
+}  // namespace fmtcp::analysis

@@ -1,0 +1,41 @@
+// Closed-form coding analysis of paper §III-B (Eq. 3–7): fixed-rate
+// erasure coding vs the fountain code under i.i.d. loss.
+#pragma once
+
+#include <cstdint>
+
+namespace fmtcp::analysis {
+
+/// Eq. 3 — Expected Packets Delivered for a fixed-rate block of A source
+/// packets on a path with loss rate p1: E(X) = A / (1 - p1).
+double expected_packets_delivered(std::uint32_t A, double p1);
+
+/// Eq. 4 — the batch size a fixed-rate scheme generates: a = A/(1-p1).
+double fixed_rate_batch(std::uint32_t A, double p1);
+
+/// Eq. 5 — mean packets actually delivered when the true loss is p2:
+/// E(X_R) = (1 - p2) * a.
+double expected_actual_delivered(std::uint32_t A, double p1, double p2);
+
+/// Eq. 6 — Chernoff upper bound on the probability that *no*
+/// retransmission is needed (X_R >= A) when the loss rate was
+/// underestimated (p2 > p1):
+///   P(X_R >= A) <= exp(-(p2-p1)^2 A / (3 (1-p1)(1-p2))).
+double no_retransmission_probability_bound(std::uint32_t A, double p1,
+                                           double p2);
+
+/// Eq. 7 — upper bound on the fountain code's Expected Symbols Delivered:
+/// E(Y) <= (k̂ + 4) / (1 - p).
+double fountain_expected_symbols_bound(std::uint32_t k_hat, double p);
+
+/// Expected number of *received* random-linear symbols until a k̂-symbol
+/// block reaches full rank: sum over ranks r of 1/(1 - 2^(r - k̂)).
+/// Approaches k̂ + 1.6067 for large k̂ (the fountain's true redundancy).
+double expected_symbols_to_decode(std::uint32_t k_hat);
+
+/// Exact P(X_R >= A) for the fixed-rate scheme by binomial tail
+/// summation (reference value for the Chernoff bound bench).
+double no_retransmission_probability_exact(std::uint32_t A, double p1,
+                                           double p2);
+
+}  // namespace fmtcp::analysis

@@ -1,0 +1,33 @@
+// Invariant checking.
+//
+// FMTCP_CHECK is always on (simulations are cheap relative to the cost of a
+// silently corrupted run); FMTCP_DCHECK compiles out in NDEBUG builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fmtcp::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace fmtcp::detail
+
+#define FMTCP_CHECK(expr)                                      \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::fmtcp::detail::check_failed(#expr, __FILE__, __LINE__); \
+    }                                                          \
+  } while (false)
+
+#ifdef NDEBUG
+#define FMTCP_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define FMTCP_DCHECK(expr) FMTCP_CHECK(expr)
+#endif

@@ -1,0 +1,35 @@
+// Minimal leveled logging for simulator diagnostics.
+//
+// Protocol modules log at kDebug/kTrace; the default level is kWarn so that
+// benchmark binaries stay quiet. Logging is printf-style to keep hot paths
+// allocation-free when the level is filtered out.
+#pragma once
+
+#include <cstdarg>
+
+#include "common/time.h"
+
+namespace fmtcp {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// True if a message at `level` would be emitted.
+bool log_enabled(LogLevel level);
+
+/// Emits a log line: "[lvl t=1.234s] module: message".
+/// `t` is the simulation time to stamp (pass 0 outside a simulation).
+void log_message(LogLevel level, SimTime t, const char* module,
+                 const char* format, ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace fmtcp
+
+#define FMTCP_LOG(level, t, module, ...)                    \
+  do {                                                      \
+    if (::fmtcp::log_enabled(level)) {                      \
+      ::fmtcp::log_message(level, t, module, __VA_ARGS__);  \
+    }                                                       \
+  } while (false)

@@ -1,0 +1,111 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fmtcp {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(other.n_);
+  mean_ += delta * m / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : samples_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double SampleSet::quantile(double q) const {
+  FMTCP_CHECK(!samples_.empty());
+  FMTCP_CHECK(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double SampleSet::mean_abs_delta() const {
+  if (samples_.size() < 2) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    s += std::abs(samples_[i] - samples_[i - 1]);
+  }
+  return s / static_cast<double>(samples_.size() - 1);
+}
+
+void SampleSet::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+}  // namespace fmtcp

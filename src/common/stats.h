@@ -1,0 +1,66 @@
+// Running statistics used by the metrics module and the benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fmtcp {
+
+/// Single-pass mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores all samples; supports exact quantiles. Use for per-block delays
+/// where the sample count is modest (thousands).
+class SampleSet {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Exact quantile by linear interpolation, q in [0,1]. Requires samples.
+  double quantile(double q) const;
+
+  /// Mean absolute difference between consecutive samples (insertion
+  /// order) — the block-jitter definition used in the evaluation.
+  double mean_abs_delta() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace fmtcp

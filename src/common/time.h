@@ -1,0 +1,44 @@
+// Simulation time: a signed 64-bit count of nanoseconds.
+//
+// All protocol and simulator code uses integer nanoseconds so that event
+// ordering is exact and runs are bit-for-bit reproducible across platforms
+// (doubles would accumulate rounding in RTT/RTO arithmetic).
+#pragma once
+
+#include <cstdint>
+
+namespace fmtcp {
+
+/// Simulation timestamp or duration, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A SimTime value meaning "never" / unset; orders after every real time.
+inline constexpr SimTime kNever = INT64_MAX;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// Builds a duration from integer milliseconds.
+constexpr SimTime from_ms(std::int64_t ms) { return ms * kMillisecond; }
+
+/// Builds a duration from integer microseconds.
+constexpr SimTime from_us(std::int64_t us) { return us * kMicrosecond; }
+
+/// Builds a duration from (possibly fractional) seconds.
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+/// Converts a duration/timestamp to seconds (for reporting only).
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts a duration/timestamp to milliseconds (for reporting only).
+constexpr double to_ms(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace fmtcp

@@ -1,0 +1,37 @@
+#include "common/timeseries.h"
+
+#include "common/check.h"
+
+namespace fmtcp {
+
+BinnedSeries::BinnedSeries(SimTime bin_width) : bin_width_(bin_width) {
+  FMTCP_CHECK(bin_width > 0);
+}
+
+void BinnedSeries::add(SimTime t, double value) {
+  FMTCP_CHECK(t >= 0);
+  const auto idx = static_cast<std::size_t>(t / bin_width_);
+  if (idx >= bins_.size()) bins_.resize(idx + 1, 0.0);
+  bins_[idx] += value;
+}
+
+SimTime BinnedSeries::bin_start(std::size_t i) const {
+  return static_cast<SimTime>(i) * bin_width_;
+}
+
+double BinnedSeries::bin_sum(std::size_t i) const {
+  FMTCP_CHECK(i < bins_.size());
+  return bins_[i];
+}
+
+double BinnedSeries::rate_at(std::size_t i) const {
+  return bin_sum(i) / to_seconds(bin_width_);
+}
+
+double BinnedSeries::total() const {
+  double s = 0.0;
+  for (double b : bins_) s += b;
+  return s;
+}
+
+}  // namespace fmtcp

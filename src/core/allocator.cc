@@ -1,0 +1,117 @@
+#include "core/allocator.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "fountain/random_linear.h"
+
+namespace fmtcp::core {
+
+namespace {
+/// Safety valve on the virtual-allocation loop; in sane configurations the
+/// pending subflow is reached within a few window-loads of rounds.
+constexpr int kMaxRounds = 100000;
+}  // namespace
+
+std::uint32_t PacketPlan::total_symbols() const {
+  std::uint32_t total = 0;
+  for (const Entry& e : entries) total += e.symbols;
+  return total;
+}
+
+Allocator::Allocator(const AllocatorEnv& env, AllocationMode mode)
+    : env_(env), mode_(mode) {}
+
+std::optional<PacketPlan> Allocator::allocate(
+    std::uint32_t pending_id) const {
+  const std::vector<SubflowSnapshot> snaps = env_.subflow_snapshots();
+  FMTCP_CHECK(!snaps.empty());
+  bool pending_found = false;
+  for (const SubflowSnapshot& s : snaps) {
+    pending_found = pending_found || s.id == pending_id;
+  }
+  FMTCP_CHECK(pending_found);
+
+  const double delta_hat = env_.delta_hat();
+  const std::size_t sym_bytes = env_.symbol_wire_bytes();
+
+  std::vector<std::uint64_t> assigned(snaps.size(), 0);
+  // Weighted virtual contribution to k̃ per block: each symbol virtually
+  // placed on subflow f adds (1 - p_f), mirroring Eq. 8.
+  std::map<net::BlockId, double> virtual_k;
+
+  // Builds the description vector V for one packet on subflow `snap`,
+  // consuming blocks in sequence order (rules R1/R2): symbols go to the
+  // first block that is not yet δ̂-complete under real + virtual k̃.
+  const auto fill_packet = [&](const SubflowSnapshot& snap) {
+    PacketPlan plan;
+    std::size_t used = 0;
+    for (std::size_t bi = 0;; ++bi) {
+      if (used + sym_bytes > snap.mss_payload) break;
+      const std::optional<net::BlockId> id = env_.block_at(bi);
+      if (!id.has_value()) break;
+      const std::uint32_t k_hat = env_.block_k_hat(*id);
+      double k = env_.real_k_tilde(*id) + virtual_k[*id];
+      std::uint32_t count = 0;
+      while (used + sym_bytes <= snap.mss_payload &&
+             fountain::decode_failure_probability(k_hat, k) >= delta_hat) {
+        ++count;
+        used += sym_bytes;
+        k += 1.0 - snap.loss;
+      }
+      if (count > 0) {
+        plan.entries.push_back({*id, count});
+        virtual_k[*id] = k - env_.real_k_tilde(*id);
+      }
+    }
+    plan.payload_bytes = used;
+    return plan;
+  };
+
+  if (mode_ == AllocationMode::kGreedy) {
+    for (const SubflowSnapshot& s : snaps) {
+      if (s.id != pending_id) continue;
+      PacketPlan plan = fill_packet(s);
+      if (plan.entries.empty()) return std::nullopt;
+      return plan;
+    }
+    return std::nullopt;
+  }
+
+  for (int round = 0; round < kMaxRounds; ++round) {
+    // f <- argmin_g EAT_g (ties to the lower subflow id).
+    std::size_t best = 0;
+    SimTime best_eat = kNever;
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+      const SimTime eat = expected_arrival_time(snaps[i], assigned[i]);
+      if (eat < best_eat ||
+          (eat == best_eat && snaps[i].id < snaps[best].id)) {
+        best = i;
+        best_eat = eat;
+      }
+    }
+
+    PacketPlan plan = fill_packet(snaps[best]);
+    if (plan.entries.empty()) {
+      // Every reachable block is δ̂-complete: rule R1 forbids sending
+      // anything, on this subflow or any other.
+      return std::nullopt;
+    }
+    ++assigned[best];
+    if (snaps[best].id == pending_id) return plan;
+  }
+
+  // Degenerate EAT configuration: serve the pending subflow directly
+  // rather than spin (virtual k̃ built so far is kept, erring toward
+  // fewer redundant symbols).
+  for (const SubflowSnapshot& s : snaps) {
+    if (s.id == pending_id) {
+      PacketPlan plan = fill_packet(s);
+      if (plan.entries.empty()) return std::nullopt;
+      return plan;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fmtcp::core

@@ -1,0 +1,82 @@
+// Data-allocation Algorithm 1 (paper §IV-B) with virtual allocation.
+//
+// When subflow f_p has a transmission opportunity, the allocator repeats:
+// pick the subflow with the smallest EAT, virtually fill one packet for it
+// with symbols of the first blocks whose expected decoding-failure
+// probability δ̃ is still ≥ δ̂ (rules R1/R2), advance that subflow's EAT —
+// until the chosen subflow *is* f_p, whose packet plan is returned and
+// materialised by the sender. Virtual assignments are per-call scratch
+// state only, exactly as §IV-B describes ("no need to physically generate
+// symbols ... when f_v has transmission opportunity later, it will trigger
+// the allocation algorithm [again]").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/eat.h"
+#include "core/params.h"
+#include "net/packet.h"
+
+namespace fmtcp::core {
+
+/// What to put into one packet: the description vector V of Algorithm 1.
+struct PacketPlan {
+  struct Entry {
+    net::BlockId block;
+    std::uint32_t symbols;
+  };
+  std::vector<Entry> entries;
+  std::size_t payload_bytes = 0;
+
+  std::uint32_t total_symbols() const;
+};
+
+/// State the allocator reads; implemented by FmtcpSender, mocked in tests.
+class AllocatorEnv {
+ public:
+  virtual ~AllocatorEnv() = default;
+
+  /// Snapshot of every subflow, indexed by position (ids unique).
+  virtual std::vector<SubflowSnapshot> subflow_snapshots() const = 0;
+
+  /// Id of the index-th allocatable block in sequence order. Existing
+  /// open blocks come first; ids past them are *prospective* blocks the
+  /// application could still supply (respecting the pending-block cap),
+  /// or nullopt when exhausted.
+  virtual std::optional<net::BlockId> block_at(std::size_t index) const = 0;
+
+  /// k̂ of `block`.
+  virtual std::uint32_t block_k_hat(net::BlockId block) const = 0;
+
+  /// Real (non-virtual) k̃ of `block` from current k̄/in-flight state
+  /// (Eq. 8). Prospective blocks report 0.
+  virtual double real_k_tilde(net::BlockId block) const = 0;
+
+  /// δ̂ threshold.
+  virtual double delta_hat() const = 0;
+
+  /// Wire bytes per symbol inside a packet.
+  virtual std::size_t symbol_wire_bytes() const = 0;
+};
+
+class Allocator {
+ public:
+  explicit Allocator(const AllocatorEnv& env,
+                     AllocationMode mode = AllocationMode::kEatVirtual);
+
+  /// Runs Algorithm 1 for the pending subflow `pending_id`; nullopt when
+  /// there is nothing to send (every reachable block is δ̂-complete).
+  /// In kGreedy mode the virtual-allocation loop is skipped and the
+  /// pending subflow is served the first incomplete blocks directly.
+  std::optional<PacketPlan> allocate(std::uint32_t pending_id) const;
+
+  AllocationMode mode() const { return mode_; }
+
+ private:
+  const AllocatorEnv& env_;
+  AllocationMode mode_;
+};
+
+}  // namespace fmtcp::core

@@ -1,0 +1,34 @@
+#include "core/eat.h"
+
+#include <algorithm>
+
+namespace fmtcp::core {
+
+SubflowSnapshot snapshot_subflow(const tcp::Subflow& subflow) {
+  SubflowSnapshot snap;
+  snap.id = subflow.id();
+  snap.mss_payload = subflow.mss_payload();
+  snap.window_space = subflow.window_space();
+  snap.cwnd = std::max(1.0, subflow.cwnd());
+  snap.edt = subflow.expected_edt();
+  snap.rt = subflow.expected_rt();
+  snap.tau = subflow.time_since_first_unacked();
+  snap.loss = subflow.loss_estimate();
+  return snap;
+}
+
+SimTime expected_arrival_time(const SubflowSnapshot& subflow,
+                              std::uint64_t virtually_assigned) {
+  if (virtually_assigned < subflow.window_space) return subflow.edt;
+
+  const SimTime first_wait =
+      std::max(subflow.edt, subflow.edt + subflow.rt - subflow.tau);
+  const std::uint64_t extra = virtually_assigned - subflow.window_space;
+  // Clamp to one tick so repeated virtual assignment always raises EAT
+  // (termination of the Algorithm 1 loop).
+  const auto ack_spacing = std::max<SimTime>(
+      1, static_cast<SimTime>(static_cast<double>(subflow.rt) / subflow.cwnd));
+  return first_wait + static_cast<SimTime>(extra) * ack_spacing;
+}
+
+}  // namespace fmtcp::core

@@ -1,0 +1,41 @@
+// Expected Arriving Time estimation (paper §IV-B, Defs. 5–7, Eq. 10–11).
+//
+// The allocator works on immutable snapshots of subflow state so that its
+// virtual allocation (Algorithm 1) can advance per-subflow EAT without
+// touching the live subflows.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "tcp/subflow.h"
+
+namespace fmtcp::core {
+
+/// Frozen view of one subflow at allocation time.
+struct SubflowSnapshot {
+  std::uint32_t id = 0;
+  std::size_t mss_payload = 0;
+  std::uint64_t window_space = 0;  ///< w_f: free window slots.
+  double cwnd = 1.0;
+  SimTime edt = 0;   ///< Expected delivery time (Def. 5).
+  SimTime rt = 0;    ///< Expected response time (Def. 6, Eq. 10).
+  SimTime tau = 0;   ///< Time since first unacked segment was sent.
+  double loss = 0.0; ///< p_f.
+};
+
+/// Captures the live subflow state.
+SubflowSnapshot snapshot_subflow(const tcp::Subflow& subflow);
+
+/// EAT_f after `virtually_assigned` packets have been (virtually) placed
+/// on the subflow during this allocation round (Eq. 11, extended so the
+/// virtual allocation loop terminates):
+///   - while the window still has space, EAT = EDT;
+///   - the first packet past the window waits for the oldest ACK:
+///     EAT = EDT + RT - tau (floored at EDT);
+///   - each further packet waits one more ACK slot, spaced RT / cwnd
+///     (the ACK-clock spacing).
+SimTime expected_arrival_time(const SubflowSnapshot& subflow,
+                              std::uint64_t virtually_assigned);
+
+}  // namespace fmtcp::core

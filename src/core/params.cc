@@ -1,0 +1,20 @@
+#include "core/params.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fmtcp::core {
+
+double FmtcpParams::delta_margin_symbols() const {
+  return std::log2(1.0 / delta_hat);
+}
+
+void FmtcpParams::validate() const {
+  FMTCP_CHECK(block_symbols > 0);
+  FMTCP_CHECK(symbol_bytes > 0);
+  FMTCP_CHECK(delta_hat > 0.0 && delta_hat < 1.0);
+  FMTCP_CHECK(max_pending_blocks > 0);
+}
+
+}  // namespace fmtcp::core

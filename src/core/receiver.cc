@@ -1,0 +1,128 @@
+#include "core/receiver.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "fountain/block.h"
+
+namespace fmtcp::core {
+
+namespace {
+/// How many freshly decoded blocks keep appearing in ACKs so a lost
+/// decode notification is repaired by later ACKs.
+constexpr std::size_t kRecentlyDecodedEcho = 4;
+}  // namespace
+
+FmtcpReceiver::FmtcpReceiver(sim::Simulator& simulator,
+                             const FmtcpParams& params,
+                             metrics::GoodputMeter* goodput,
+                             BlockSink* sink)
+    : simulator_(simulator),
+      params_(params),
+      goodput_(goodput),
+      sink_(sink) {
+  params_.validate();
+  FMTCP_CHECK(sink_ == nullptr || params_.carry_payload);
+}
+
+bool FmtcpReceiver::is_decoded(net::BlockId id) const {
+  return id < deliver_next_ || decoded_waiting_.count(id) != 0;
+}
+
+void FmtcpReceiver::on_segment(std::uint32_t /*subflow*/,
+                               const net::Packet& p) {
+  for (const net::EncodedSymbol& symbol : p.symbols) {
+    ++symbols_received_;
+    if (is_decoded(symbol.block)) {
+      ++redundant_symbols_;
+      continue;
+    }
+    auto [it, inserted] = decoders_.try_emplace(
+        symbol.block, symbol.block_symbols, params_.symbol_bytes,
+        params_.carry_payload);
+    fountain::BlockDecoder& decoder = it->second;
+    if (!decoder.add_symbol(symbol)) {
+      ++redundant_symbols_;  // Linearly dependent; dropped (§III-B).
+      continue;
+    }
+    if (decoder.complete()) {
+      if (sink_ != nullptr) {
+        decoded_data_.emplace(symbol.block, decoder.decode());
+      } else if (params_.carry_payload) {
+        // No application sink: verify against the deterministic source.
+        const fountain::BlockData& decoded = decoder.decode();
+        const fountain::BlockData expected =
+            fountain::make_deterministic_block(
+                symbol.block, symbol.block_symbols, params_.symbol_bytes);
+        if (decoded.bytes() != expected.bytes()) payload_ok_ = false;
+      }
+      decoded_waiting_.insert(symbol.block);
+      recently_decoded_.push_front(symbol.block);
+      if (recently_decoded_.size() > kRecentlyDecodedEcho) {
+        recently_decoded_.pop_back();
+      }
+      decoders_.erase(it);
+      deliver_ready_blocks();
+    }
+  }
+  note_buffer_occupancy();
+}
+
+void FmtcpReceiver::deliver_ready_blocks() {
+  while (decoded_waiting_.erase(deliver_next_) != 0) {
+    if (sink_ != nullptr) {
+      const auto it = decoded_data_.find(deliver_next_);
+      FMTCP_CHECK(it != decoded_data_.end());
+      sink_->on_block(deliver_next_, it->second);
+      decoded_data_.erase(it);
+    }
+    if (goodput_ != nullptr) {
+      goodput_->on_delivered(simulator_.now(), params_.block_bytes());
+    }
+    ++blocks_delivered_;
+    ++deliver_next_;
+  }
+}
+
+void FmtcpReceiver::note_buffer_occupancy() {
+  std::size_t occupancy =
+      decoded_waiting_.size() * params_.block_bytes();
+  for (const auto& [id, decoder] : decoders_) {
+    occupancy += decoder.buffered_bytes();
+  }
+  max_buffered_ = std::max(max_buffered_, occupancy);
+}
+
+net::BlockAck FmtcpReceiver::make_block_ack(net::BlockId id) const {
+  net::BlockAck ack;
+  ack.block = id;
+  if (is_decoded(id)) {
+    ack.independent_symbols = params_.block_symbols;
+    ack.decoded = true;
+    return ack;
+  }
+  const auto it = decoders_.find(id);
+  ack.independent_symbols = it == decoders_.end() ? 0 : it->second.rank();
+  return ack;
+}
+
+void FmtcpReceiver::fill_ack(std::uint32_t /*subflow*/,
+                             const net::Packet& data, net::Packet& ack,
+                             std::size_t& /*extra_bytes*/) {
+  std::set<net::BlockId> mentioned;
+  // Blocks whose symbols rode this data packet.
+  for (const net::EncodedSymbol& symbol : data.symbols) {
+    mentioned.insert(symbol.block);
+  }
+  // The first block still being decoded (drives R2 at the sender).
+  if (!decoders_.empty()) mentioned.insert(decoders_.begin()->first);
+  // Recently decoded blocks, so a lost decode notification heals.
+  for (net::BlockId id : recently_decoded_) mentioned.insert(id);
+
+  ack.block_acks.reserve(mentioned.size());
+  for (net::BlockId id : mentioned) {
+    ack.block_acks.push_back(make_block_ack(id));
+  }
+}
+
+}  // namespace fmtcp::core

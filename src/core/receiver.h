@@ -1,0 +1,80 @@
+// FMTCP receiver: symbol aggregation, per-block decoding, in-order block
+// delivery, and block-ACK feedback (paper §III-A receiver side).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "core/block_source.h"
+#include "core/params.h"
+#include "fountain/decoder.h"
+#include "metrics/goodput.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "tcp/subflow.h"
+
+namespace fmtcp::core {
+
+class FmtcpReceiver final : public tcp::DataSink {
+ public:
+  /// `goodput` may be null (no measurement). Delivered application bytes
+  /// are counted when a block leaves the receive buffer in order.
+  /// `sink` may be null; when set (requires params.carry_payload) it
+  /// receives every decoded block in id order — the application-data
+  /// path (see core/stream.h).
+  FmtcpReceiver(sim::Simulator& simulator, const FmtcpParams& params,
+                metrics::GoodputMeter* goodput = nullptr,
+                BlockSink* sink = nullptr);
+
+  // tcp::DataSink
+  void on_segment(std::uint32_t subflow, const net::Packet& p) override;
+  void fill_ack(std::uint32_t subflow, const net::Packet& data,
+                net::Packet& ack, std::size_t& extra_bytes) override;
+
+  /// Next block id awaited for in-order delivery.
+  net::BlockId deliver_next() const { return deliver_next_; }
+
+  std::uint64_t blocks_delivered() const { return blocks_delivered_; }
+
+  /// Symbols that arrived but were linearly dependent or targeted an
+  /// already-decoded block (pure redundancy).
+  std::uint64_t redundant_symbols() const { return redundant_symbols_; }
+
+  std::uint64_t total_symbols_received() const { return symbols_received_; }
+
+  /// Peak receive-buffer occupancy (undecoded symbol rows + decoded
+  /// blocks awaiting in-order delivery).
+  std::size_t max_buffered_bytes() const { return max_buffered_; }
+
+  /// False if any decoded block failed payload verification (only
+  /// meaningful with params.carry_payload).
+  bool payload_verified() const { return payload_ok_; }
+
+ private:
+  bool is_decoded(net::BlockId id) const;
+  void deliver_ready_blocks();
+  void note_buffer_occupancy();
+  net::BlockAck make_block_ack(net::BlockId id) const;
+
+  sim::Simulator& simulator_;
+  FmtcpParams params_;
+  metrics::GoodputMeter* goodput_;
+  BlockSink* sink_;
+
+  std::map<net::BlockId, fountain::BlockDecoder> decoders_;
+  std::set<net::BlockId> decoded_waiting_;  ///< Decoded, awaiting order.
+  /// Decoded payloads held for the sink until in-order delivery.
+  std::map<net::BlockId, fountain::BlockData> decoded_data_;
+  std::deque<net::BlockId> recently_decoded_;
+  net::BlockId deliver_next_ = 0;
+
+  std::uint64_t blocks_delivered_ = 0;
+  std::uint64_t redundant_symbols_ = 0;
+  std::uint64_t symbols_received_ = 0;
+  std::size_t max_buffered_ = 0;
+  bool payload_ok_ = true;
+};
+
+}  // namespace fmtcp::core

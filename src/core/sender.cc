@@ -1,0 +1,151 @@
+#include "core/sender.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace fmtcp::core {
+
+FmtcpSender::FmtcpSender(sim::Simulator& simulator, const FmtcpParams& params,
+                         metrics::BlockDelayRecorder* delays,
+                         BlockSource* source)
+    : simulator_(simulator),
+      params_(params),
+      blocks_(
+          simulator, params,
+          [delays](net::BlockId id, SimTime delay) {
+            if (delays != nullptr) delays->record(id, delay);
+          },
+          source),
+      allocator_(*this, params.allocation) {}
+
+void FmtcpSender::register_subflow(tcp::Subflow* subflow) {
+  FMTCP_CHECK(subflow != nullptr);
+  FMTCP_CHECK(subflow->id() == subflows_.size());
+  subflows_.push_back(subflow);
+}
+
+void FmtcpSender::start() {
+  for (tcp::Subflow* subflow : subflows_) {
+    subflow->notify_send_opportunity();
+  }
+}
+
+double FmtcpSender::loss_of(std::uint32_t subflow) const {
+  FMTCP_CHECK(subflow < subflows_.size());
+  return subflows_[subflow]->loss_estimate();
+}
+
+std::vector<SubflowSnapshot> FmtcpSender::subflow_snapshots() const {
+  std::vector<SubflowSnapshot> snaps;
+  snaps.reserve(subflows_.size());
+  for (const tcp::Subflow* subflow : subflows_) {
+    snaps.push_back(snapshot_subflow(*subflow));
+  }
+  return snaps;
+}
+
+std::optional<net::BlockId> FmtcpSender::block_at(std::size_t index) const {
+  // Open, not-yet-decoded blocks first, in sequence order.
+  std::size_t i = 0;
+  for (const SenderBlock& block : blocks_.open_blocks()) {
+    if (block.decoded) continue;
+    if (i == index) return block.id;
+    ++i;
+  }
+  // Then prospective blocks the application can still supply.
+  const std::uint64_t beyond = index - i;
+  if (blocks_.can_open(beyond + 1)) {
+    return blocks_.next_block_id() + beyond;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t FmtcpSender::block_k_hat(net::BlockId /*block*/) const {
+  return params_.block_symbols;
+}
+
+double FmtcpSender::real_k_tilde(net::BlockId id) const {
+  const SenderBlock* block = blocks_.find(id);
+  if (block == nullptr) return 0.0;  // Prospective block.
+  return blocks_.k_tilde(*block, [this](std::uint32_t f) {
+    return loss_of(f);
+  });
+}
+
+tcp::SegmentContent FmtcpSender::materialize(const PacketPlan& plan,
+                                             std::uint32_t subflow) {
+  tcp::SegmentContent content;
+  content.payload_bytes = plan.payload_bytes;
+  for (const PacketPlan::Entry& entry : plan.entries) {
+    SenderBlock& block = blocks_.ensure_block(entry.block);
+    for (std::uint32_t j = 0; j < entry.symbols; ++j) {
+      content.symbols.push_back(block.encoder.next_symbol());
+    }
+    blocks_.on_symbols_sent(entry.block, subflow, entry.symbols);
+  }
+  return content;
+}
+
+std::optional<tcp::SegmentContent> FmtcpSender::next_segment(
+    std::uint32_t subflow) {
+  const std::optional<PacketPlan> plan = allocator_.allocate(subflow);
+  if (!plan.has_value()) return std::nullopt;
+  return materialize(*plan, subflow);
+}
+
+std::optional<tcp::SegmentContent> FmtcpSender::retransmit_segment(
+    std::uint32_t subflow, std::uint64_t /*seq*/) {
+  // Fresh symbols for the retransmission slot — the FMTCP mechanism.
+  return next_segment(subflow);
+}
+
+void FmtcpSender::account_symbols(const tcp::SegmentContent& content,
+                                  std::uint32_t subflow, bool acked) {
+  std::map<net::BlockId, std::uint32_t> per_block;
+  for (const net::EncodedSymbol& symbol : content.symbols) {
+    ++per_block[symbol.block];
+  }
+  for (const auto& [block, count] : per_block) {
+    if (acked) {
+      blocks_.on_symbols_acked(block, subflow, count);
+    } else {
+      blocks_.on_symbols_lost(block, subflow, count);
+    }
+  }
+}
+
+void FmtcpSender::on_segment_acked(std::uint32_t subflow,
+                                   std::uint64_t /*seq*/,
+                                   const tcp::SegmentContent& content) {
+  account_symbols(content, subflow, /*acked=*/true);
+  schedule_poke();
+}
+
+void FmtcpSender::on_segment_lost(std::uint32_t subflow,
+                                  std::uint64_t /*seq*/,
+                                  const tcp::SegmentContent& content) {
+  account_symbols(content, subflow, /*acked=*/false);
+  schedule_poke();
+}
+
+void FmtcpSender::on_ack_info(std::uint32_t /*subflow*/,
+                              const net::Packet& ack) {
+  for (const net::BlockAck& block_ack : ack.block_acks) {
+    blocks_.on_block_ack(block_ack);
+  }
+  schedule_poke();
+}
+
+void FmtcpSender::schedule_poke() {
+  if (poke_pending_) return;
+  poke_pending_ = true;
+  simulator_.schedule_in(0, [this] {
+    poke_pending_ = false;
+    for (tcp::Subflow* subflow : subflows_) {
+      subflow->notify_send_opportunity();
+    }
+  });
+}
+
+}  // namespace fmtcp::core

@@ -1,0 +1,122 @@
+#include "core/stream.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fmtcp::core {
+
+namespace {
+constexpr std::size_t kFrameHeaderBytes = 4;
+}  // namespace
+
+std::size_t FmtcpStreamWriter::payload_per_block(std::uint32_t symbols,
+                                                 std::size_t symbol_bytes) {
+  const std::size_t block_bytes =
+      static_cast<std::size_t>(symbols) * symbol_bytes;
+  FMTCP_CHECK(block_bytes > kFrameHeaderBytes);
+  return block_bytes - kFrameHeaderBytes;
+}
+
+FmtcpStreamWriter::FmtcpStreamWriter(std::uint32_t symbols,
+                                     std::size_t symbol_bytes)
+    : symbols_(symbols),
+      symbol_bytes_(symbol_bytes),
+      capacity_(payload_per_block(symbols, symbol_bytes)) {}
+
+std::size_t FmtcpStreamWriter::buffered_bytes() const {
+  std::size_t total = current_.size();
+  for (const auto& frame : frames_) total += frame.size();
+  return total;
+}
+
+void FmtcpStreamWriter::commit_full_frames() {
+  while (current_.size() >= capacity_) {
+    std::vector<std::uint8_t> frame(current_.begin(),
+                                    current_.begin() + capacity_);
+    current_.erase(current_.begin(), current_.begin() + capacity_);
+    frames_.push_back(std::move(frame));
+  }
+}
+
+void FmtcpStreamWriter::write(const std::uint8_t* data, std::size_t size) {
+  FMTCP_CHECK(!closed_);
+  current_.insert(current_.end(), data, data + size);
+  bytes_written_ += size;
+  commit_full_frames();
+  if (sender_ != nullptr) sender_->notify_data_available();
+}
+
+void FmtcpStreamWriter::write(const std::string& data) {
+  write(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+}
+
+void FmtcpStreamWriter::flush() {
+  commit_full_frames();
+  if (!current_.empty()) {
+    frames_.push_back(std::move(current_));
+    current_.clear();
+  }
+  if (sender_ != nullptr) sender_->notify_data_available();
+}
+
+void FmtcpStreamWriter::close() {
+  flush();
+  closed_ = true;
+  if (sender_ != nullptr) sender_->notify_data_available();
+}
+
+bool FmtcpStreamWriter::has_block(net::BlockId id) {
+  if (id < next_build_) return true;  // Already built.
+  return id - next_build_ < frames_.size();
+}
+
+fountain::BlockData FmtcpStreamWriter::build_block(
+    net::BlockId id, std::uint32_t symbols, std::size_t symbol_bytes) {
+  FMTCP_CHECK(id == next_build_);
+  FMTCP_CHECK(symbols == symbols_);
+  FMTCP_CHECK(symbol_bytes == symbol_bytes_);
+  FMTCP_CHECK(!frames_.empty());
+  const std::vector<std::uint8_t> frame = std::move(frames_.front());
+  frames_.pop_front();
+  FMTCP_CHECK(frame.size() <= capacity_);
+
+  fountain::BlockData block(symbols, symbol_bytes);
+  auto& bytes = block.bytes();
+  const std::size_t length = frame.size();
+  bytes[0] = static_cast<std::uint8_t>(length);
+  bytes[1] = static_cast<std::uint8_t>(length >> 8);
+  bytes[2] = static_cast<std::uint8_t>(length >> 16);
+  bytes[3] = static_cast<std::uint8_t>(length >> 24);
+  std::copy(frame.begin(), frame.end(),
+            bytes.begin() + kFrameHeaderBytes);
+  ++next_build_;
+  return block;
+}
+
+FmtcpStreamReader::FmtcpStreamReader(ByteCallback on_bytes)
+    : on_bytes_(std::move(on_bytes)) {}
+
+void FmtcpStreamReader::on_block(net::BlockId /*id*/,
+                                 const fountain::BlockData& block) {
+  ++blocks_received_;
+  const auto& bytes = block.bytes();
+  if (bytes.size() < kFrameHeaderBytes) {
+    framing_ok_ = false;
+    return;
+  }
+  const std::size_t length = static_cast<std::size_t>(bytes[0]) |
+                             (static_cast<std::size_t>(bytes[1]) << 8) |
+                             (static_cast<std::size_t>(bytes[2]) << 16) |
+                             (static_cast<std::size_t>(bytes[3]) << 24);
+  if (length > bytes.size() - kFrameHeaderBytes) {
+    framing_ok_ = false;
+    return;
+  }
+  const std::uint8_t* payload = bytes.data() + kFrameHeaderBytes;
+  bytes_received_ += length;
+  if (store_) stored_.insert(stored_.end(), payload, payload + length);
+  if (on_bytes_) on_bytes_(payload, length);
+}
+
+}  // namespace fmtcp::core

@@ -1,0 +1,117 @@
+// Byte-stream adapters: the application-facing API over FMTCP blocks.
+//
+// FmtcpStreamWriter turns write()/close() calls into coding blocks (each
+// block frames its payload with a 4-byte length, so partial final blocks
+// pad cleanly); FmtcpStreamReader re-emits the exact byte stream on the
+// receiver. Together they make an FmtcpConnection carry real application
+// bytes end to end:
+//
+//   FmtcpStreamWriter writer;
+//   FmtcpStreamReader reader([&](const std::uint8_t* p, std::size_t n) {
+//     out.append(reinterpret_cast<const char*>(p), n); });
+//   config.source = &writer;
+//   config.block_sink = &reader;
+//   core::FmtcpConnection connection(sim, topology, config);
+//   writer.attach(&connection.sender());
+//   writer.write(data);
+//   writer.close();
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/block_source.h"
+#include "core/sender.h"
+
+namespace fmtcp::core {
+
+/// Sender-side adapter: buffers application bytes and serves them to the
+/// BlockManager as framed blocks.
+class FmtcpStreamWriter final : public BlockSource {
+ public:
+  /// Geometry must match the connection's FmtcpParams.
+  FmtcpStreamWriter(std::uint32_t symbols, std::size_t symbol_bytes);
+
+  /// Bytes of application payload carried per block of the given
+  /// geometry (the 4-byte frame header is carved out of the block).
+  static std::size_t payload_per_block(std::uint32_t symbols,
+                                       std::size_t symbol_bytes);
+
+  /// Attaches the sender to poke when new data arrives (may be null for
+  /// tests driving the source directly).
+  void attach(FmtcpSender* sender) { sender_ = sender; }
+
+  /// Appends bytes to the outgoing stream. Full blocks become available
+  /// as soon as enough bytes accumulate.
+  void write(const std::uint8_t* data, std::size_t size);
+  void write(const std::string& data);
+
+  /// Commits the current partial block immediately (padded) — the
+  /// latency/efficiency knob for interactive streams.
+  void flush();
+
+  /// Flushes and marks end of stream.
+  void close();
+
+  bool closed() const { return closed_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  /// Bytes accepted but not yet handed to the coder.
+  std::size_t buffered_bytes() const;
+
+  // --- BlockSource ----------------------------------------------------
+  bool has_block(net::BlockId id) override;
+  fountain::BlockData build_block(net::BlockId id, std::uint32_t symbols,
+                                  std::size_t symbol_bytes) override;
+
+ private:
+  void commit_full_frames();
+
+  FmtcpSender* sender_ = nullptr;
+  std::uint32_t symbols_;
+  std::size_t symbol_bytes_;
+  std::size_t capacity_;  ///< Application bytes per block.
+  /// Frames committed (full blocks or flush points), ready to build.
+  std::deque<std::vector<std::uint8_t>> frames_;
+  /// Bytes not yet committed to a frame.
+  std::vector<std::uint8_t> current_;
+  net::BlockId next_build_ = 0;
+  bool closed_ = false;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Receiver-side adapter: unframes delivered blocks and emits the byte
+/// stream, in order, exactly once.
+class FmtcpStreamReader final : public BlockSink {
+ public:
+  using ByteCallback =
+      std::function<void(const std::uint8_t* data, std::size_t size)>;
+
+  /// `on_bytes` may be null; received bytes are then only counted (and
+  /// optionally stored via set_store()).
+  explicit FmtcpStreamReader(ByteCallback on_bytes = nullptr);
+
+  /// Keep a copy of everything received (tests, small transfers).
+  void set_store(bool store) { store_ = store; }
+  const std::vector<std::uint8_t>& stored() const { return stored_; }
+
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  std::uint64_t blocks_received() const { return blocks_received_; }
+  /// True if any block carried a malformed frame header.
+  bool framing_ok() const { return framing_ok_; }
+
+  // --- BlockSink --------------------------------------------------------
+  void on_block(net::BlockId id, const fountain::BlockData& block) override;
+
+ private:
+  ByteCallback on_bytes_;
+  bool store_ = false;
+  std::vector<std::uint8_t> stored_;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t blocks_received_ = 0;
+  bool framing_ok_ = true;
+};
+
+}  // namespace fmtcp::core

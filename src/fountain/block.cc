@@ -1,0 +1,42 @@
+#include "fountain/block.h"
+
+#include "common/check.h"
+
+namespace fmtcp::fountain {
+
+BlockData::BlockData(std::uint32_t symbols, std::size_t symbol_bytes)
+    : symbols_(symbols),
+      symbol_bytes_(symbol_bytes),
+      bytes_(static_cast<std::size_t>(symbols) * symbol_bytes, 0) {
+  FMTCP_CHECK(symbols > 0);
+  FMTCP_CHECK(symbol_bytes > 0);
+}
+
+std::uint8_t* BlockData::symbol(std::uint32_t i) {
+  FMTCP_DCHECK(i < symbols_);
+  return bytes_.data() + static_cast<std::size_t>(i) * symbol_bytes_;
+}
+
+const std::uint8_t* BlockData::symbol(std::uint32_t i) const {
+  FMTCP_DCHECK(i < symbols_);
+  return bytes_.data() + static_cast<std::size_t>(i) * symbol_bytes_;
+}
+
+std::vector<std::uint8_t> BlockData::symbol_copy(std::uint32_t i) const {
+  const std::uint8_t* p = symbol(i);
+  return std::vector<std::uint8_t>(p, p + symbol_bytes_);
+}
+
+BlockData make_deterministic_block(std::uint64_t block_id,
+                                   std::uint32_t symbols,
+                                   std::size_t symbol_bytes) {
+  BlockData block(symbols, symbol_bytes);
+  // Seed mixed with a constant so block 0 is not the RNG's default stream.
+  Rng rng(block_id * 0x9e3779b97f4a7c15ULL + 0x51ed2701);
+  for (auto& byte : block.bytes()) {
+    byte = static_cast<std::uint8_t>(rng.next_u64());
+  }
+  return block;
+}
+
+}  // namespace fmtcp::fountain

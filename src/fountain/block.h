@@ -1,0 +1,49 @@
+// Source-data block: the fountain coding unit (paper §III-B).
+//
+// A block holds k̂ source symbols of `symbol_bytes` each. The paper ties
+// symbol size to block size (k̂-bit symbols, k̂² bits per block) for
+// notational convenience; we keep the two independent, which preserves the
+// code and the failure model while allowing realistic packet payloads
+// (documented substitution in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fmtcp::fountain {
+
+class BlockData {
+ public:
+  /// Zero-filled block of `symbols` symbols, `symbol_bytes` bytes each.
+  BlockData(std::uint32_t symbols, std::size_t symbol_bytes);
+
+  std::uint32_t symbols() const { return symbols_; }
+  std::size_t symbol_bytes() const { return symbol_bytes_; }
+  std::size_t total_bytes() const { return bytes_.size(); }
+
+  /// Mutable access to symbol i's bytes (contiguous).
+  std::uint8_t* symbol(std::uint32_t i);
+  const std::uint8_t* symbol(std::uint32_t i) const;
+
+  /// Copies symbol i out as a vector.
+  std::vector<std::uint8_t> symbol_copy(std::uint32_t i) const;
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t>& bytes() { return bytes_; }
+
+ private:
+  std::uint32_t symbols_;
+  std::size_t symbol_bytes_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Deterministic pseudo-random block content derived from `block_id`.
+/// Sender and verifying receiver can regenerate the same bytes, giving
+/// end-to-end integrity checking without storing the whole stream.
+BlockData make_deterministic_block(std::uint64_t block_id,
+                                   std::uint32_t symbols,
+                                   std::size_t symbol_bytes);
+
+}  // namespace fmtcp::fountain

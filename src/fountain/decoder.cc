@@ -1,0 +1,101 @@
+#include "fountain/decoder.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "fountain/random_linear.h"
+
+namespace fmtcp::fountain {
+
+BlockDecoder::BlockDecoder(std::uint32_t symbols, std::size_t symbol_bytes,
+                           bool track_data)
+    : symbols_(symbols),
+      symbol_bytes_(symbol_bytes),
+      track_data_(track_data),
+      pivot_rows_(symbols) {
+  FMTCP_CHECK(symbols > 0);
+  FMTCP_CHECK(symbol_bytes > 0);
+}
+
+bool BlockDecoder::add_symbol(const BitVector& coeffs,
+                              const std::vector<std::uint8_t>& data) {
+  FMTCP_CHECK(coeffs.size() == symbols_);
+  ++received_;
+  if (complete()) {
+    ++redundant_;
+    return false;
+  }
+
+  Row row{coeffs, {}};
+  if (track_data_) {
+    FMTCP_CHECK(data.size() == symbol_bytes_);
+    row.data = data;
+  }
+
+  // Reduce against existing pivot rows until the leading bit is free.
+  std::size_t pivot = row.coeffs.lowest_set_bit();
+  while (pivot < symbols_ && pivot_rows_[pivot].has_value()) {
+    row.coeffs.xor_with(pivot_rows_[pivot]->coeffs);
+    if (track_data_) xor_bytes(row.data, pivot_rows_[pivot]->data);
+    pivot = row.coeffs.lowest_set_bit();
+  }
+
+  if (pivot >= symbols_) {
+    ++redundant_;  // Linearly dependent; dropped (paper §III-B).
+    return false;
+  }
+
+  pivot_rows_[pivot] = std::move(row);
+  ++rank_;
+  return true;
+}
+
+bool BlockDecoder::add_symbol(const net::EncodedSymbol& symbol) {
+  FMTCP_CHECK(symbol.block_symbols == symbols_);
+  BitVector coeffs(symbols_);
+  if (symbol.is_systematic()) {
+    FMTCP_CHECK(symbol.systematic_index < symbols_);
+    coeffs.set(symbol.systematic_index, true);
+  } else {
+    coeffs = coefficients_from_seed(symbol.coeff_seed, symbols_);
+  }
+  if (track_data_) {
+    return add_symbol(coeffs, symbol.data);
+  }
+  return add_symbol(coeffs, {});
+}
+
+std::size_t BlockDecoder::buffered_bytes() const {
+  if (complete() && decoded_.has_value()) return 0;
+  return static_cast<std::size_t>(rank_) * symbol_bytes_;
+}
+
+const BlockData& BlockDecoder::decode() {
+  FMTCP_CHECK(complete());
+  FMTCP_CHECK(track_data_);
+  if (decoded_.has_value()) return *decoded_;
+
+  // Back-substitute: eliminate every pivot bit from the rows above it so
+  // each row ends with exactly one set bit.
+  for (std::size_t p = symbols_; p-- > 0;) {
+    FMTCP_CHECK(pivot_rows_[p].has_value());
+    for (std::size_t q = 0; q < p; ++q) {
+      Row& upper = *pivot_rows_[q];
+      if (upper.coeffs.get(p)) {
+        upper.coeffs.xor_with(pivot_rows_[p]->coeffs);
+        xor_bytes(upper.data, pivot_rows_[p]->data);
+      }
+    }
+  }
+
+  BlockData out(symbols_, symbol_bytes_);
+  for (std::uint32_t i = 0; i < symbols_; ++i) {
+    const Row& row = *pivot_rows_[i];
+    FMTCP_DCHECK(row.coeffs.popcount() == 1);
+    std::copy(row.data.begin(), row.data.end(), out.symbol(i));
+  }
+  decoded_ = std::move(out);
+  return *decoded_;
+}
+
+}  // namespace fmtcp::fountain

@@ -1,0 +1,75 @@
+// Incremental Gaussian-elimination decoder for the random linear fountain.
+//
+// The receiver feeds symbols as they arrive (from any subflow, in any
+// order); the decoder reduces each against its pivot rows, drops linearly
+// dependent symbols on the spot (paper §III-B: "checks the linear
+// independence and drops redundant symbols"), and reports the current rank
+// k̄_b for the ACK feedback. Once rank == k̂ it back-substitutes and
+// recovers the original block.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fountain/block.h"
+#include "fountain/gf2.h"
+#include "net/packet.h"
+
+namespace fmtcp::fountain {
+
+class BlockDecoder {
+ public:
+  /// `track_data` false = rank-only mode (no payload bytes stored).
+  BlockDecoder(std::uint32_t symbols, std::size_t symbol_bytes,
+               bool track_data);
+
+  /// Inserts a symbol given its expanded coefficients and payload.
+  /// Returns true if the symbol was innovative (rank increased).
+  bool add_symbol(const BitVector& coeffs,
+                  const std::vector<std::uint8_t>& data);
+
+  /// Inserts a wire symbol (coefficients regenerated from its seed).
+  bool add_symbol(const net::EncodedSymbol& symbol);
+
+  /// Current number of linearly independent symbols, k̄_b.
+  std::uint32_t rank() const { return rank_; }
+
+  /// True when rank == k̂ (block decodable).
+  bool complete() const { return rank_ == symbols_; }
+
+  std::uint32_t symbols() const { return symbols_; }
+  std::size_t symbol_bytes() const { return symbol_bytes_; }
+
+  /// Total symbols fed in, including redundant ones.
+  std::uint64_t received_count() const { return received_; }
+
+  /// Symbols dropped as linearly dependent.
+  std::uint64_t redundant_count() const { return redundant_; }
+
+  /// Receive-buffer bytes this block currently pins (stored symbol rows;
+  /// rank-only mode counts the bytes the rows would occupy).
+  std::size_t buffered_bytes() const;
+
+  /// Recovers the original block. Requires complete() and track_data.
+  /// Idempotent; the first call performs back-substitution.
+  const BlockData& decode();
+
+ private:
+  struct Row {
+    BitVector coeffs;
+    std::vector<std::uint8_t> data;
+  };
+
+  std::uint32_t symbols_;
+  std::size_t symbol_bytes_;
+  bool track_data_;
+  std::uint32_t rank_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t redundant_ = 0;
+  /// pivot_rows_[p] holds the row whose lowest set bit is p (if any).
+  std::vector<std::optional<Row>> pivot_rows_;
+  std::optional<BlockData> decoded_;
+};
+
+}  // namespace fmtcp::fountain

@@ -1,0 +1,96 @@
+#include "fountain/gf2.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace fmtcp::fountain {
+
+BitVector::BitVector(std::size_t bits)
+    : bits_(bits), words_((bits + 63) / 64, 0) {
+  FMTCP_CHECK(bits > 0);
+}
+
+BitVector BitVector::random(std::size_t bits, Rng& rng) {
+  BitVector v(bits);
+  for (auto& word : v.words_) word = rng.next_u64();
+  // Clear padding bits past `bits` so equality/popcount are exact.
+  const std::size_t tail = bits % 64;
+  if (tail != 0) v.words_.back() &= (~0ULL >> (64 - tail));
+  return v;
+}
+
+bool BitVector::get(std::size_t i) const {
+  FMTCP_DCHECK(i < bits_);
+  return (words_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+void BitVector::set(std::size_t i, bool value) {
+  FMTCP_DCHECK(i < bits_);
+  const std::uint64_t mask = 1ULL << (i % 64);
+  if (value) {
+    words_[i / 64] |= mask;
+  } else {
+    words_[i / 64] &= ~mask;
+  }
+}
+
+void BitVector::xor_with(const BitVector& other) {
+  FMTCP_CHECK(bits_ == other.bits_);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] ^= other.words_[w];
+  }
+}
+
+bool BitVector::any() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+std::size_t BitVector::lowest_set_bit() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * 64 +
+             static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return bits_;
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  return bits_ == other.bits_ && words_ == other.words_;
+}
+
+void xor_bytes(std::vector<std::uint8_t>& dst,
+               const std::vector<std::uint8_t>& src) {
+  FMTCP_CHECK(dst.size() == src.size());
+  xor_bytes_raw(dst.data(), src.data(), dst.size());
+}
+
+void xor_bytes_raw(std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t size) {
+  // Word-at-a-time XOR: symbol payloads are hundreds of bytes and this
+  // loop dominates payload-mode simulation time.
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t d;
+    std::uint64_t s;
+    __builtin_memcpy(&d, dst + i, 8);
+    __builtin_memcpy(&s, src + i, 8);
+    d ^= s;
+    __builtin_memcpy(dst + i, &d, 8);
+  }
+  for (; i < size; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace fmtcp::fountain

@@ -1,0 +1,57 @@
+// Dense GF(2) vectors: the coefficient algebra of the random linear
+// fountain code (paper Eq. 1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fmtcp::fountain {
+
+/// Fixed-length bit vector over GF(2), packed into 64-bit words.
+class BitVector {
+ public:
+  /// All-zero vector of `bits` bits.
+  explicit BitVector(std::size_t bits);
+
+  /// Uniformly random vector (each bit i.i.d. fair). May be all-zero;
+  /// callers that need a usable coefficient vector should re-draw.
+  static BitVector random(std::size_t bits, Rng& rng);
+
+  std::size_t size() const { return bits_; }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool value);
+
+  /// this ^= other (sizes must match).
+  void xor_with(const BitVector& other);
+
+  /// True if any bit is set.
+  bool any() const;
+
+  /// Index of the lowest set bit, or size() if none.
+  std::size_t lowest_set_bit() const;
+
+  /// Number of set bits.
+  std::size_t popcount() const;
+
+  bool operator==(const BitVector& other) const;
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::size_t bits_;
+  std::vector<std::uint64_t> words_;
+};
+
+/// dst ^= src (symbol payload accumulation). Sizes must match.
+void xor_bytes(std::vector<std::uint8_t>& dst,
+               const std::vector<std::uint8_t>& src);
+
+/// dst[0..size) ^= src[0..size), word-at-a-time.
+void xor_bytes_raw(std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t size);
+
+}  // namespace fmtcp::fountain

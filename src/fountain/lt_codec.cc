@@ -1,0 +1,129 @@
+#include "fountain/lt_codec.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "fountain/gf2.h"
+
+namespace fmtcp::fountain {
+
+std::vector<std::uint32_t> lt_neighbors_from_seed(std::uint64_t seed,
+                                                  const RobustSoliton& dist,
+                                                  Rng* /*scratch*/) {
+  Rng rng(seed);
+  const std::uint32_t k = dist.k();
+  const std::uint32_t degree = std::min(dist.sample(rng), k);
+  // Floyd's algorithm for `degree` distinct values in [0, k).
+  std::vector<std::uint32_t> out;
+  out.reserve(degree);
+  for (std::uint32_t j = k - degree; j < k; ++j) {
+    const auto t = static_cast<std::uint32_t>(rng.next_below(j + 1));
+    if (std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(t);
+    } else {
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+LtEncoder::LtEncoder(std::uint64_t block_id, BlockData block,
+                     RobustSoliton dist, Rng rng)
+    : block_id_(block_id),
+      data_(std::move(block)),
+      dist_(std::move(dist)),
+      rng_(rng) {
+  FMTCP_CHECK(data_.symbols() == dist_.k());
+}
+
+net::EncodedSymbol LtEncoder::next_symbol() {
+  net::EncodedSymbol s;
+  s.block = block_id_;
+  s.block_symbols = dist_.k();
+  s.coeff_seed = rng_.next_u64();
+  const std::vector<std::uint32_t> neighbors =
+      lt_neighbors_from_seed(s.coeff_seed, dist_);
+  s.data.assign(data_.symbol_bytes(), 0);
+  for (std::uint32_t idx : neighbors) {
+    xor_bytes_raw(s.data.data(), data_.symbol(idx), s.data.size());
+  }
+  return s;
+}
+
+LtDecoder::LtDecoder(std::uint32_t symbols, std::size_t symbol_bytes,
+                     RobustSoliton dist)
+    : symbols_(symbols),
+      symbol_bytes_(symbol_bytes),
+      dist_(std::move(dist)),
+      source_(symbols) {
+  FMTCP_CHECK(dist_.k() == symbols);
+}
+
+bool LtDecoder::add_symbol(const net::EncodedSymbol& symbol) {
+  FMTCP_CHECK(symbol.block_symbols == symbols_);
+  FMTCP_CHECK(symbol.data.size() == symbol_bytes_);
+  ++received_;
+  if (complete()) return false;
+
+  PendingSymbol pending;
+  pending.data = symbol.data;
+  // Subtract already-recovered neighbours immediately.
+  for (std::uint32_t idx : lt_neighbors_from_seed(symbol.coeff_seed, dist_)) {
+    if (source_[idx].has_value()) {
+      xor_bytes(pending.data, *source_[idx]);
+    } else {
+      pending.neighbors.push_back(idx);
+    }
+  }
+
+  if (pending.neighbors.empty()) return false;  // Fully redundant.
+
+  if (pending.neighbors.size() == 1) {
+    const std::uint32_t idx = pending.neighbors.front();
+    source_[idx] = std::move(pending.data);
+    ++recovered_;
+    process_ripple({idx});
+    return true;
+  }
+
+  pending_.push_back(std::move(pending));
+  return false;
+}
+
+void LtDecoder::process_ripple(std::vector<std::uint32_t> ripple) {
+  while (!ripple.empty()) {
+    const std::uint32_t released = ripple.back();
+    ripple.pop_back();
+    for (auto& pending : pending_) {
+      auto it = std::find(pending.neighbors.begin(), pending.neighbors.end(),
+                          released);
+      if (it == pending.neighbors.end()) continue;
+      pending.neighbors.erase(it);
+      xor_bytes(pending.data, *source_[released]);
+      if (pending.neighbors.size() == 1 &&
+          !source_[pending.neighbors.front()].has_value()) {
+        const std::uint32_t idx = pending.neighbors.front();
+        source_[idx] = pending.data;
+        pending.neighbors.clear();
+        ++recovered_;
+        ripple.push_back(idx);
+      }
+    }
+    std::erase_if(pending_, [](const PendingSymbol& p) {
+      return p.neighbors.empty();
+    });
+  }
+}
+
+BlockData LtDecoder::decode() const {
+  FMTCP_CHECK(complete());
+  BlockData out(symbols_, symbol_bytes_);
+  for (std::uint32_t i = 0; i < symbols_; ++i) {
+    FMTCP_CHECK(source_[i].has_value());
+    std::copy(source_[i]->begin(), source_[i]->end(), out.symbol(i));
+  }
+  return out;
+}
+
+}  // namespace fmtcp::fountain

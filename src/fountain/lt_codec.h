@@ -1,0 +1,75 @@
+// LT (Luby Transform) codec: sparse fountain code with soliton degrees and
+// belief-propagation (peeling) decoding. Extension beyond the paper's
+// dense random linear code; used by the overhead-comparison benches and
+// available to users who want O(k ln k) decoding for large blocks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "fountain/block.h"
+#include "fountain/soliton.h"
+#include "net/packet.h"
+
+namespace fmtcp::fountain {
+
+/// Expands an LT symbol seed into its neighbour set (distinct source
+/// symbol indices). Degree is sampled from `dist`; both ends must use the
+/// same distribution parameters.
+std::vector<std::uint32_t> lt_neighbors_from_seed(std::uint64_t seed,
+                                                  const RobustSoliton& dist,
+                                                  Rng* scratch = nullptr);
+
+class LtEncoder {
+ public:
+  LtEncoder(std::uint64_t block_id, BlockData block, RobustSoliton dist,
+            Rng rng);
+
+  net::EncodedSymbol next_symbol();
+
+  std::uint32_t symbols() const { return dist_.k(); }
+
+ private:
+  std::uint64_t block_id_;
+  BlockData data_;
+  RobustSoliton dist_;
+  Rng rng_;
+};
+
+/// Peeling decoder: symbols of degree one release their source symbol,
+/// which is then subtracted from every waiting symbol that covers it.
+class LtDecoder {
+ public:
+  LtDecoder(std::uint32_t symbols, std::size_t symbol_bytes,
+            RobustSoliton dist);
+
+  /// Returns true if progress was made (any source symbol recovered).
+  bool add_symbol(const net::EncodedSymbol& symbol);
+
+  std::uint32_t recovered() const { return recovered_; }
+  bool complete() const { return recovered_ == symbols_; }
+  std::uint64_t received_count() const { return received_; }
+
+  /// Requires complete().
+  BlockData decode() const;
+
+ private:
+  struct PendingSymbol {
+    std::vector<std::uint32_t> neighbors;  ///< Unresolved source indices.
+    std::vector<std::uint8_t> data;
+  };
+
+  void process_ripple(std::vector<std::uint32_t> ripple);
+
+  std::uint32_t symbols_;
+  std::size_t symbol_bytes_;
+  RobustSoliton dist_;
+  std::uint32_t recovered_ = 0;
+  std::uint64_t received_ = 0;
+  std::vector<std::optional<std::vector<std::uint8_t>>> source_;
+  std::vector<PendingSymbol> pending_;
+};
+
+}  // namespace fmtcp::fountain

@@ -1,0 +1,75 @@
+#include "fountain/random_linear.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fmtcp::fountain {
+
+BitVector coefficients_from_seed(std::uint64_t seed, std::uint32_t k) {
+  Rng rng(seed);
+  BitVector v = BitVector::random(k, rng);
+  while (!v.any()) v = BitVector::random(k, rng);
+  return v;
+}
+
+std::vector<std::uint8_t> encode_with_coefficients(const BlockData& block,
+                                                   const BitVector& coeffs) {
+  FMTCP_CHECK(coeffs.size() == block.symbols());
+  std::vector<std::uint8_t> out(block.symbol_bytes(), 0);
+  for (std::uint32_t i = 0; i < block.symbols(); ++i) {
+    if (!coeffs.get(i)) continue;
+    xor_bytes_raw(out.data(), block.symbol(i), out.size());
+  }
+  return out;
+}
+
+double decode_failure_probability(std::uint32_t k_hat, double received) {
+  if (received < static_cast<double>(k_hat)) return 1.0;
+  return std::exp2(-(received - static_cast<double>(k_hat)));
+}
+
+RandomLinearEncoder::RandomLinearEncoder(std::uint64_t block_id,
+                                         BlockData block, Rng rng,
+                                         bool systematic)
+    : block_id_(block_id),
+      symbols_(block.symbols()),
+      symbol_bytes_(block.symbol_bytes()),
+      data_(std::move(block)),
+      rng_(rng),
+      systematic_(systematic) {}
+
+RandomLinearEncoder::RandomLinearEncoder(std::uint64_t block_id,
+                                         std::uint32_t symbols,
+                                         std::size_t symbol_bytes, Rng rng,
+                                         bool systematic)
+    : block_id_(block_id),
+      symbols_(symbols),
+      symbol_bytes_(symbol_bytes),
+      rng_(rng),
+      systematic_(systematic) {
+  FMTCP_CHECK(symbols > 0);
+  FMTCP_CHECK(symbol_bytes > 0);
+}
+
+net::EncodedSymbol RandomLinearEncoder::next_symbol() {
+  net::EncodedSymbol s;
+  s.block = block_id_;
+  s.block_symbols = symbols_;
+  if (systematic_ && generated_ < symbols_) {
+    s.systematic_index = static_cast<std::uint32_t>(generated_);
+    if (data_.has_value()) s.data = data_->symbol_copy(s.systematic_index);
+  } else {
+    s.coeff_seed = rng_.next_u64();
+    if (data_.has_value()) {
+      const BitVector coeffs =
+          coefficients_from_seed(s.coeff_seed, symbols_);
+      s.data = encode_with_coefficients(*data_, coeffs);
+    }
+  }
+  ++generated_;
+  return s;
+}
+
+}  // namespace fmtcp::fountain

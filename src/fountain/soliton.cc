@@ -1,0 +1,90 @@
+#include "fountain/soliton.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fmtcp::fountain {
+
+namespace {
+
+/// Binary-searches a CDF for the first index with cdf >= u; returns the
+/// 1-based degree.
+std::uint32_t sample_cdf(const std::vector<double>& cdf, Rng& rng) {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  const auto idx = static_cast<std::uint32_t>(it - cdf.begin());
+  return std::min<std::uint32_t>(idx + 1,
+                                 static_cast<std::uint32_t>(cdf.size()));
+}
+
+}  // namespace
+
+IdealSoliton::IdealSoliton(std::uint32_t k) : k_(k), cdf_(k) {
+  FMTCP_CHECK(k >= 1);
+  double acc = 0.0;
+  for (std::uint32_t d = 1; d <= k; ++d) {
+    acc += pmf(d);
+    cdf_[d - 1] = acc;
+  }
+  cdf_.back() = 1.0;
+}
+
+double IdealSoliton::pmf(std::uint32_t d) const {
+  if (d < 1 || d > k_) return 0.0;
+  if (d == 1) return 1.0 / static_cast<double>(k_);
+  return 1.0 / (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
+std::uint32_t IdealSoliton::sample(Rng& rng) const {
+  return sample_cdf(cdf_, rng);
+}
+
+RobustSoliton::RobustSoliton(std::uint32_t k, double c, double delta)
+    : k_(k), pmf_(k), cdf_(k) {
+  FMTCP_CHECK(k >= 1);
+  FMTCP_CHECK(c > 0.0);
+  FMTCP_CHECK(delta > 0.0 && delta < 1.0);
+
+  spike_ = c * std::log(static_cast<double>(k) / delta) *
+           std::sqrt(static_cast<double>(k));
+  const auto spike_idx = static_cast<std::uint32_t>(
+      std::clamp(std::round(static_cast<double>(k) / spike_), 1.0,
+                 static_cast<double>(k)));
+
+  IdealSoliton rho(k);
+  // tau(d) per Luby: R/(d k) for d < k/R, R ln(R/delta)/k at d = k/R.
+  std::vector<double> tau(k, 0.0);
+  for (std::uint32_t d = 1; d <= k; ++d) {
+    if (d < spike_idx) {
+      tau[d - 1] = spike_ / (static_cast<double>(d) * k);
+    } else if (d == spike_idx) {
+      tau[d - 1] = spike_ * std::log(spike_ / delta) / k;
+    }
+  }
+
+  double norm = 0.0;
+  for (std::uint32_t d = 1; d <= k; ++d) {
+    pmf_[d - 1] = rho.pmf(d) + tau[d - 1];
+    norm += pmf_[d - 1];
+  }
+  double acc = 0.0;
+  for (std::uint32_t d = 1; d <= k; ++d) {
+    pmf_[d - 1] /= norm;
+    acc += pmf_[d - 1];
+    cdf_[d - 1] = acc;
+  }
+  cdf_.back() = 1.0;
+}
+
+double RobustSoliton::pmf(std::uint32_t d) const {
+  if (d < 1 || d > k_) return 0.0;
+  return pmf_[d - 1];
+}
+
+std::uint32_t RobustSoliton::sample(Rng& rng) const {
+  return sample_cdf(cdf_, rng);
+}
+
+}  // namespace fmtcp::fountain

@@ -1,0 +1,51 @@
+// Soliton degree distributions for LT codes (MacKay [17], the paper's
+// fountain-code reference). The paper's protocol uses the dense random
+// linear fountain; the LT codec is provided as an extension and for the
+// overhead-comparison benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fmtcp::fountain {
+
+/// Ideal soliton: P(1) = 1/k, P(d) = 1/(d(d-1)) for d = 2..k.
+class IdealSoliton {
+ public:
+  explicit IdealSoliton(std::uint32_t k);
+
+  /// Samples a degree in [1, k].
+  std::uint32_t sample(Rng& rng) const;
+
+  /// P(degree == d).
+  double pmf(std::uint32_t d) const;
+
+  std::uint32_t k() const { return k_; }
+
+ protected:
+  std::uint32_t k_;
+  std::vector<double> cdf_;  ///< cdf_[d-1] = P(degree <= d).
+};
+
+/// Robust soliton with the usual (c, delta) parameterisation.
+class RobustSoliton {
+ public:
+  RobustSoliton(std::uint32_t k, double c, double delta);
+
+  std::uint32_t sample(Rng& rng) const;
+  double pmf(std::uint32_t d) const;
+
+  std::uint32_t k() const { return k_; }
+  /// The spike location R = c * ln(k/delta) * sqrt(k).
+  double spike() const { return spike_; }
+
+ private:
+  std::uint32_t k_;
+  double spike_;
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace fmtcp::fountain

@@ -1,0 +1,178 @@
+#include "harness/fairness.h"
+
+#include <memory>
+
+#include "common/check.h"
+#include "core/params.h"
+#include "core/receiver.h"
+#include "core/sender.h"
+#include "metrics/goodput.h"
+#include "mptcp/receiver.h"
+#include "mptcp/sender.h"
+#include "net/link.h"
+#include "sim/simulator.h"
+#include "tcp/subflow.h"
+
+namespace fmtcp::harness {
+
+namespace {
+
+/// One single-path endpoint pair (sender side + receiver side) of either
+/// protocol, exposing the pieces the shared wiring needs.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual tcp::SegmentProvider& provider() = 0;
+  virtual tcp::DataSink& sink() = 0;
+  virtual void attach_and_start(tcp::Subflow* subflow) = 0;
+  virtual std::uint64_t delivered_bytes() const = 0;
+};
+
+class FmtcpEndpoint final : public Endpoint {
+ public:
+  FmtcpEndpoint(sim::Simulator& simulator, const core::FmtcpParams& params)
+      : goodput_(kSecond),
+        sender_(simulator, params),
+        receiver_(simulator, params, &goodput_) {}
+
+  tcp::SegmentProvider& provider() override { return sender_; }
+  tcp::DataSink& sink() override { return receiver_; }
+  void attach_and_start(tcp::Subflow* subflow) override {
+    sender_.register_subflow(subflow);
+    sender_.start();
+  }
+  std::uint64_t delivered_bytes() const override {
+    return goodput_.total_bytes();
+  }
+
+ private:
+  metrics::GoodputMeter goodput_;
+  core::FmtcpSender sender_;
+  core::FmtcpReceiver receiver_;
+};
+
+class TcpEndpoint final : public Endpoint {
+ public:
+  TcpEndpoint(sim::Simulator& simulator, std::size_t segment_bytes)
+      : goodput_(kSecond),
+        sender_(simulator, make_config(segment_bytes)),
+        receiver_(simulator, 128 * 1024, &goodput_) {}
+
+  tcp::SegmentProvider& provider() override { return sender_; }
+  tcp::DataSink& sink() override { return receiver_; }
+  void attach_and_start(tcp::Subflow* subflow) override {
+    sender_.register_subflow(subflow);
+    sender_.start();
+  }
+  std::uint64_t delivered_bytes() const override {
+    return goodput_.total_bytes();
+  }
+
+ private:
+  static mptcp::MptcpSenderConfig make_config(std::size_t segment_bytes) {
+    mptcp::MptcpSenderConfig config;
+    config.segment_bytes = segment_bytes;
+    return config;
+  }
+
+  metrics::GoodputMeter goodput_;
+  mptcp::MptcpSender sender_;
+  mptcp::MptcpReceiver receiver_;
+};
+
+std::unique_ptr<Endpoint> make_endpoint(sim::Simulator& simulator,
+                                        Protocol protocol,
+                                        const ProtocolOptions& options) {
+  switch (protocol) {
+    case Protocol::kFmtcp:
+      return std::make_unique<FmtcpEndpoint>(simulator, options.fmtcp);
+    case Protocol::kMptcp:
+      return std::make_unique<TcpEndpoint>(simulator,
+                                           options.subflow.mss_payload);
+    default:
+      FMTCP_CHECK(false && "fairness supports kFmtcp / kMptcp only");
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+double FairnessResult::jain_index() const {
+  const double sum = goodput_a_MBps + goodput_b_MBps;
+  const double sum_sq = goodput_a_MBps * goodput_a_MBps +
+                        goodput_b_MBps * goodput_b_MBps;
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (2.0 * sum_sq);
+}
+
+double FairnessResult::share_a() const {
+  const double sum = goodput_a_MBps + goodput_b_MBps;
+  return sum == 0.0 ? 0.5 : goodput_a_MBps / sum;
+}
+
+FairnessResult run_fairness(const FairnessConfig& config) {
+  sim::Simulator simulator(config.seed);
+  const ProtocolOptions options = ProtocolOptions::defaults();
+
+  // Shared bottleneck forward link; roomy reverse link for ACKs.
+  net::LinkConfig forward_config;
+  forward_config.bandwidth_Bps = config.bottleneck_Bps;
+  forward_config.prop_delay = config.one_way_delay;
+  forward_config.queue_packets = config.queue_packets;
+  net::Link forward(simulator, forward_config,
+                    net::make_bernoulli(config.loss_rate));
+
+  net::LinkConfig reverse_config = forward_config;
+  reverse_config.bandwidth_Bps = 100e6;
+  reverse_config.queue_packets = 0;
+  net::Link reverse(simulator, reverse_config, nullptr);
+
+  std::unique_ptr<Endpoint> a =
+      make_endpoint(simulator, config.protocol_a, options);
+  std::unique_ptr<Endpoint> b =
+      make_endpoint(simulator, config.protocol_b, options);
+
+  tcp::SubflowConfig subflow_config = options.subflow;
+  subflow_config.id = 0;
+
+  // Connection A (tag 1).
+  subflow_config.flow_tag = 1;
+  subflow_config.fresh_payload_on_retransmit =
+      config.protocol_a == Protocol::kFmtcp;
+  auto subflow_a = std::make_unique<tcp::Subflow>(
+      simulator, subflow_config, forward, a->provider());
+  auto receiver_a = std::make_unique<tcp::SubflowReceiver>(
+      simulator, 0, reverse, a->sink());
+
+  // Connection B (tag 2).
+  subflow_config.flow_tag = 2;
+  subflow_config.fresh_payload_on_retransmit =
+      config.protocol_b == Protocol::kFmtcp;
+  auto subflow_b = std::make_unique<tcp::Subflow>(
+      simulator, subflow_config, forward, b->provider());
+  auto receiver_b = std::make_unique<tcp::SubflowReceiver>(
+      simulator, 0, reverse, b->sink());
+
+  // Demultiplex by connection tag at both ends.
+  forward.set_sink([ra = receiver_a.get(),
+                    rb = receiver_b.get()](net::Packet p) {
+    (p.flow_tag == 1 ? ra : rb)->on_data_packet(std::move(p));
+  });
+  reverse.set_sink([sa = subflow_a.get(),
+                    sb = subflow_b.get()](net::Packet p) {
+    (p.flow_tag == 1 ? sa : sb)->on_ack_packet(std::move(p));
+  });
+
+  a->attach_and_start(subflow_a.get());
+  b->attach_and_start(subflow_b.get());
+  simulator.run_until(config.duration);
+
+  FairnessResult result;
+  result.goodput_a_MBps = static_cast<double>(a->delivered_bytes()) /
+                          to_seconds(config.duration) / 1e6;
+  result.goodput_b_MBps = static_cast<double>(b->delivered_bytes()) /
+                          to_seconds(config.duration) / 1e6;
+  return result;
+}
+
+}  // namespace fmtcp::harness

@@ -1,0 +1,56 @@
+#include "harness/printer.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace fmtcp::harness {
+
+void print_header(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+void print_table(const std::vector<std::string>& columns,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths;
+  widths.reserve(columns.size());
+  for (const std::string& c : columns) widths.push_back(c.size());
+  for (const auto& row : rows) {
+    FMTCP_CHECK(row.size() == columns.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i].size() > widths[i]) widths[i] = row[i].size();
+    }
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+    }
+    std::printf("\n");
+  };
+
+  print_row(columns);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  for (std::size_t i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows) print_row(row);
+}
+
+void print_series(const std::string& x_label, const std::string& y_label,
+                  const std::vector<double>& xs,
+                  const std::vector<double>& ys) {
+  FMTCP_CHECK(xs.size() == ys.size());
+  std::printf("%s\t%s\n", x_label.c_str(), y_label.c_str());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::printf("%.3f\t%.4f\n", xs[i], ys[i]);
+  }
+}
+
+std::string fmt(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+}  // namespace fmtcp::harness

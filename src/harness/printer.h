@@ -1,0 +1,27 @@
+// Console table/series printers used by the bench binaries to emit the
+// same rows and series the paper's figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fmtcp::harness {
+
+/// Prints "== title ==" with surrounding spacing.
+void print_header(const std::string& title);
+
+/// Prints a fixed-width table: `columns` headers, then each row (values
+/// already formatted as strings).
+void print_table(const std::vector<std::string>& columns,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Prints a numbered series "label[i] = value" with one decimal index
+/// column, e.g. for a goodput time series or per-block delays.
+void print_series(const std::string& x_label, const std::string& y_label,
+                  const std::vector<double>& xs,
+                  const std::vector<double>& ys);
+
+/// Formats a double with `digits` decimals.
+std::string fmt(double value, int digits = 2);
+
+}  // namespace fmtcp::harness

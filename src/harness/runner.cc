@@ -1,0 +1,171 @@
+#include "harness/runner.h"
+
+#include <memory>
+
+#include "baselines/fixed_rate.h"
+#include "baselines/hmtp.h"
+#include "common/check.h"
+#include "core/connection.h"
+#include "mptcp/connection.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace fmtcp::harness {
+
+namespace {
+
+void collect_subflow(const tcp::Subflow& subflow, RunResult& result) {
+  SubflowStats stats;
+  stats.segments_sent = subflow.segments_sent();
+  stats.retransmissions = subflow.retransmissions();
+  stats.timeouts = subflow.timeouts();
+  stats.fast_retransmits = subflow.fast_retransmits();
+  stats.final_cwnd = subflow.cwnd();
+  stats.loss_estimate = subflow.loss_estimate();
+  result.subflows.push_back(stats);
+}
+
+void collect_common(const metrics::GoodputMeter& goodput,
+                    const metrics::BlockDelayRecorder& delays,
+                    const Scenario& scenario, RunResult& result) {
+  result.delivered_bytes = goodput.total_bytes();
+  result.goodput_MBps = goodput.mean_rate_MBps(scenario.duration);
+  for (std::size_t i = 0; i < goodput.series().bin_count(); ++i) {
+    result.goodput_series_MBps.push_back(goodput.series().rate_at(i) / 1e6);
+  }
+  result.blocks_completed = delays.completed_blocks();
+  result.mean_delay_ms = delays.mean_delay_ms();
+  result.jitter_ms = delays.jitter_ms();
+  result.stddev_delay_ms = delays.stddev_delay_ms();
+  result.max_delay_ms = delays.max_delay_ms();
+  result.block_delays_ms = delays.delays_ms_in_order();
+}
+
+net::Topology build_topology(sim::Simulator& simulator,
+                             const Scenario& scenario) {
+  net::Topology topology(
+      simulator,
+      {scenario.path_config(scenario.path1),
+       scenario.path_config(scenario.path2)});
+  if (!scenario.path2_loss_schedule.empty()) {
+    topology.path(1).set_forward_loss(
+        std::make_unique<net::TimeVaryingLoss>(
+            scenario.path2_loss_schedule));
+  }
+  if (scenario.tracer != nullptr) {
+    for (std::size_t i = 0; i < topology.path_count(); ++i) {
+      topology.path(i).forward().set_tracer(
+          scenario.tracer, static_cast<std::uint32_t>(2 * i));
+      topology.path(i).reverse().set_tracer(
+          scenario.tracer, static_cast<std::uint32_t>(2 * i + 1));
+    }
+  }
+  return topology;
+}
+
+}  // namespace
+
+double RunResult::coding_overhead(std::uint32_t block_symbols) const {
+  if (blocks_completed == 0 || symbols_sent == 0) return 0.0;
+  const double needed = static_cast<double>(blocks_completed) *
+                        static_cast<double>(block_symbols);
+  return static_cast<double>(symbols_sent) / needed - 1.0;
+}
+
+RunResult run_scenario(Protocol protocol, const Scenario& scenario,
+                       const ProtocolOptions& options) {
+  sim::Simulator simulator(scenario.seed);
+  net::Topology topology = build_topology(simulator, scenario);
+
+  RunResult result;
+  result.protocol = protocol;
+
+  switch (protocol) {
+    case Protocol::kFmtcp: {
+      core::FmtcpConnectionConfig config;
+      config.params = options.fmtcp;
+      config.subflow = options.subflow;
+      config.subflow.enable_sack = options.sack;
+      config.receiver.delayed_acks = options.delayed_acks;
+      config.use_lia = options.fmtcp_use_lia;
+      config.goodput_bin = options.goodput_bin;
+      core::FmtcpConnection connection(simulator, topology, config);
+      connection.start();
+      simulator.run_until(scenario.duration);
+      collect_common(connection.goodput(), connection.block_delays(),
+                     scenario, result);
+      for (std::size_t i = 0; i < connection.subflow_count(); ++i) {
+        collect_subflow(connection.subflow(i), result);
+      }
+      result.redundant_symbols = connection.receiver().redundant_symbols();
+      result.symbols_sent = connection.sender().blocks().total_symbols_sent();
+      result.payload_ok = connection.receiver().payload_verified();
+      break;
+    }
+
+    case Protocol::kMptcp: {
+      mptcp::MptcpConnectionConfig config;
+      config.subflow = options.subflow;
+      config.subflow.enable_sack = options.sack;
+      config.sender.segment_bytes = options.subflow.mss_payload;
+      config.sender.metric_block_bytes = options.fmtcp.block_bytes();
+      config.sender.scheduler = options.mptcp_scheduler;
+      config.sender.enable_reinjection = options.mptcp_reinjection;
+      config.receiver.delayed_acks = options.delayed_acks;
+      config.receive_buffer_bytes = options.mptcp_receive_buffer;
+      config.use_lia = options.mptcp_use_lia;
+      config.goodput_bin = options.goodput_bin;
+      mptcp::MptcpConnection connection(simulator, topology, config);
+      connection.start();
+      simulator.run_until(scenario.duration);
+      collect_common(connection.goodput(), connection.block_delays(),
+                     scenario, result);
+      for (std::size_t i = 0; i < connection.subflow_count(); ++i) {
+        collect_subflow(connection.subflow(i), result);
+      }
+      break;
+    }
+
+    case Protocol::kHmtp: {
+      baselines::HmtpConnectionConfig config;
+      config.params = options.fmtcp;
+      config.subflow = options.subflow;
+      config.goodput_bin = options.goodput_bin;
+      baselines::HmtpConnection connection(simulator, topology, config);
+      connection.start();
+      simulator.run_until(scenario.duration);
+      collect_common(connection.goodput(), connection.block_delays(),
+                     scenario, result);
+      collect_subflow(connection.subflow(0), result);
+      collect_subflow(connection.subflow(1), result);
+      result.redundant_symbols = connection.receiver().redundant_symbols();
+      result.symbols_sent =
+          connection.sender().blocks().total_symbols_sent();
+      result.payload_ok = connection.receiver().payload_verified();
+      break;
+    }
+
+    case Protocol::kFixedRate: {
+      baselines::FixedRateConnectionConfig config;
+      config.params = options.fixed_rate;
+      config.subflow = options.subflow;
+      config.goodput_bin = options.goodput_bin;
+      baselines::FixedRateConnection connection(simulator, topology,
+                                                config);
+      connection.start();
+      simulator.run_until(scenario.duration);
+      collect_common(connection.goodput(), connection.block_delays(),
+                     scenario, result);
+      result.redundant_symbols = connection.receiver().redundant_symbols();
+      result.symbols_sent = connection.sender().symbols_sent();
+      break;
+    }
+  }
+  return result;
+}
+
+RunResult run_scenario(Protocol protocol, const Scenario& scenario) {
+  return run_scenario(protocol, scenario, ProtocolOptions::defaults());
+}
+
+}  // namespace fmtcp::harness

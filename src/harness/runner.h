@@ -1,0 +1,57 @@
+// Runs one protocol over one scenario and collects the paper's metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/scenario.h"
+
+namespace fmtcp::harness {
+
+struct SubflowStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  double final_cwnd = 0.0;
+  double loss_estimate = 0.0;
+};
+
+struct RunResult {
+  Protocol protocol{};
+
+  // Goodput (receiver, in-order application bytes).
+  std::uint64_t delivered_bytes = 0;
+  double goodput_MBps = 0.0;
+  /// Per-bin goodput rate series in MB/s (bin width = goodput_bin).
+  std::vector<double> goodput_series_MBps;
+
+  // Block metrics (sender-measured, §V definitions).
+  std::uint64_t blocks_completed = 0;
+  double mean_delay_ms = 0.0;
+  double jitter_ms = 0.0;
+  double stddev_delay_ms = 0.0;
+  double max_delay_ms = 0.0;
+  /// Per-block delivery delay in block order (Fig. 7 series).
+  std::vector<double> block_delays_ms;
+
+  // Diagnostics.
+  std::vector<SubflowStats> subflows;
+  std::uint64_t redundant_symbols = 0;  ///< Coded protocols only.
+  std::uint64_t symbols_sent = 0;       ///< Coded protocols only.
+  bool payload_ok = true;
+
+  /// Coding overhead: symbols sent per source symbol delivered, minus 1.
+  /// 0 for MPTCP.
+  double coding_overhead(std::uint32_t block_symbols) const;
+};
+
+/// Builds the two-path topology from `scenario`, runs `protocol` for
+/// scenario.duration, and returns the metrics.
+RunResult run_scenario(Protocol protocol, const Scenario& scenario,
+                       const ProtocolOptions& options);
+
+/// run_scenario with ProtocolOptions::defaults().
+RunResult run_scenario(Protocol protocol, const Scenario& scenario);
+
+}  // namespace fmtcp::harness

@@ -1,0 +1,62 @@
+#include "harness/scenario.h"
+
+#include "common/check.h"
+
+namespace fmtcp::harness {
+
+net::PathConfig Scenario::path_config(const PathSpec& spec) const {
+  net::PathConfig config;
+  config.one_way_delay = from_seconds(spec.delay_ms / 1e3);
+  config.loss_rate = spec.loss;
+  config.bandwidth_Bps = bandwidth_Bps;
+  config.queue_packets = queue_packets;
+  return config;
+}
+
+const char* protocol_name(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kFmtcp:
+      return "FMTCP";
+    case Protocol::kMptcp:
+      return "IETF-MPTCP";
+    case Protocol::kHmtp:
+      return "HMTP";
+    case Protocol::kFixedRate:
+      return "FixedRate";
+  }
+  return "?";
+}
+
+ProtocolOptions ProtocolOptions::defaults() {
+  ProtocolOptions options;
+
+  options.fmtcp.block_symbols = 128;
+  options.fmtcp.symbol_bytes = 160;
+  options.fmtcp.symbol_header_bytes = 12;
+  options.fmtcp.delta_hat = 0.01;
+  options.fmtcp.max_pending_blocks = 64;
+  options.fmtcp.carry_payload = true;
+
+  options.fixed_rate.block_symbols = options.fmtcp.block_symbols;
+  options.fixed_rate.symbol_bytes = options.fmtcp.symbol_bytes;
+  options.fixed_rate.symbol_header_bytes =
+      options.fmtcp.symbol_header_bytes;
+  options.fixed_rate.assumed_loss = 0.02;
+  options.fixed_rate.max_pending_blocks =
+      options.fmtcp.max_pending_blocks;
+
+  // 7 symbols of 172 wire bytes per packet.
+  options.subflow.mss_payload = 7 * options.fmtcp.symbol_wire_bytes();
+  // Bound exponential backoff (ns-2-style): multi-minute RTOs would park
+  // segments on a dead path far longer than any experiment horizon.
+  options.subflow.rtt.max_rto = 4 * kSecond;
+  // ns-2-style window_ cap, sized to the per-path BDP (~104 packets at
+  // 5 Mb/s x 200 ms) plus small queue headroom. Without it a sender with
+  // no connection-level flow control (FMTCP) fills the drop-tail queue
+  // and the self-inflicted RTT inflation distorts the delay metrics.
+  options.subflow.reno.max_cwnd = 110.0;
+  options.subflow.cubic.max_cwnd = 110.0;
+  return options;
+}
+
+}  // namespace fmtcp::harness

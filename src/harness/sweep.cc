@@ -1,0 +1,72 @@
+#include "harness/sweep.h"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/check.h"
+
+namespace fmtcp::harness {
+
+std::vector<RunResult> run_parallel(const std::vector<SweepJob>& jobs,
+                                    unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 4;
+  }
+  threads = std::min<unsigned>(threads,
+                               static_cast<unsigned>(jobs.size()));
+
+  std::vector<RunResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      results[i] =
+          run_scenario(jobs[i].protocol, jobs[i].scenario, jobs[i].options);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+std::vector<RunResult> run_seeds(Protocol protocol, Scenario scenario,
+                                 const ProtocolOptions& options,
+                                 const std::vector<std::uint64_t>& seeds,
+                                 unsigned threads) {
+  FMTCP_CHECK(scenario.tracer == nullptr);  // Tracers are not thread-safe.
+  std::vector<SweepJob> jobs;
+  jobs.reserve(seeds.size());
+  for (std::uint64_t seed : seeds) {
+    SweepJob job{protocol, scenario, options};
+    job.scenario.seed = seed;
+    jobs.push_back(std::move(job));
+  }
+  return run_parallel(jobs, threads);
+}
+
+SeedStats aggregate(const std::vector<RunResult>& results,
+                    const std::function<double(const RunResult&)>& metric) {
+  SeedStats stats;
+  if (results.empty()) return stats;
+  double sum = 0.0;
+  for (const RunResult& r : results) sum += metric(r);
+  stats.mean = sum / static_cast<double>(results.size());
+  if (results.size() < 2) return stats;
+  double var = 0.0;
+  for (const RunResult& r : results) {
+    const double d = metric(r) - stats.mean;
+    var += d * d;
+  }
+  stats.stddev = std::sqrt(var / static_cast<double>(results.size() - 1));
+  return stats;
+}
+
+}  // namespace fmtcp::harness

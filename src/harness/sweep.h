@@ -1,0 +1,42 @@
+// Parallel scenario sweeps: run many independent simulations across
+// threads and aggregate per-seed statistics. Each simulation is fully
+// self-contained (its own Simulator, topology, RNG streams), so runs are
+// embarrassingly parallel; results are returned in job order regardless
+// of completion order, preserving determinism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace fmtcp::harness {
+
+struct SweepJob {
+  Protocol protocol = Protocol::kFmtcp;
+  Scenario scenario;
+  ProtocolOptions options = ProtocolOptions::defaults();
+};
+
+/// Runs every job, `threads` at a time (0 = hardware concurrency).
+/// Results are in job order.
+std::vector<RunResult> run_parallel(const std::vector<SweepJob>& jobs,
+                                    unsigned threads = 0);
+
+/// Replicates one configuration across `seeds` (overriding
+/// scenario.seed) and runs them in parallel.
+std::vector<RunResult> run_seeds(Protocol protocol, Scenario scenario,
+                                 const ProtocolOptions& options,
+                                 const std::vector<std::uint64_t>& seeds,
+                                 unsigned threads = 0);
+
+/// Mean and sample standard deviation of `metric` over results.
+struct SeedStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+SeedStats aggregate(const std::vector<RunResult>& results,
+                    const std::function<double(const RunResult&)>& metric);
+
+}  // namespace fmtcp::harness

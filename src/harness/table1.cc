@@ -1,0 +1,30 @@
+#include "harness/table1.h"
+
+#include "common/check.h"
+
+namespace fmtcp::harness {
+
+const std::array<PathSpec, 8>& table1_cases() {
+  static const std::array<PathSpec, 8> kCases = {{
+      {100.0, 0.02},
+      {100.0, 0.05},
+      {100.0, 0.10},
+      {100.0, 0.15},
+      {25.0, 0.10},
+      {50.0, 0.10},
+      {100.0, 0.10},
+      {150.0, 0.10},
+  }};
+  return kCases;
+}
+
+Scenario table1_scenario(std::size_t index) {
+  FMTCP_CHECK(index < table1_cases().size());
+  Scenario scenario;
+  scenario.path1 = {100.0, 0.0};
+  scenario.path2 = table1_cases()[index];
+  scenario.seed = 1000 + index;
+  return scenario;
+}
+
+}  // namespace fmtcp::harness

@@ -1,0 +1,20 @@
+// Paper Table I: the eight subflow-2 parameter sets used throughout the
+// evaluation (subflow 1 is always 100 ms delay, lossless).
+#pragma once
+
+#include <array>
+
+#include "harness/scenario.h"
+
+namespace fmtcp::harness {
+
+/// Table I, test cases 1..8 (index 0..7).
+///   delay (ms): 100 100 100 100  25  50 100 150
+///   loss  (%):    2   5  10  15  10  10  10  10
+const std::array<PathSpec, 8>& table1_cases();
+
+/// A Scenario for test case `index` (0-based), with the paper's fixed
+/// subflow-1 parameters.
+Scenario table1_scenario(std::size_t index);
+
+}  // namespace fmtcp::harness

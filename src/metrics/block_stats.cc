@@ -1,0 +1,48 @@
+#include "metrics/block_stats.h"
+
+#include <algorithm>
+
+namespace fmtcp::metrics {
+
+void BlockDelayRecorder::record(std::uint64_t block, SimTime delay) {
+  Entry e{block, delay};
+  const auto it = std::lower_bound(
+      by_block_.begin(), by_block_.end(), e,
+      [](const Entry& a, const Entry& b) { return a.block < b.block; });
+  by_block_.insert(it, e);
+}
+
+SampleSet BlockDelayRecorder::ordered_samples_ms() const {
+  SampleSet set;
+  for (const Entry& e : by_block_) set.add(to_ms(e.delay));
+  return set;
+}
+
+double BlockDelayRecorder::mean_delay_ms() const {
+  return ordered_samples_ms().mean();
+}
+
+double BlockDelayRecorder::jitter_ms() const {
+  return ordered_samples_ms().stddev();
+}
+
+double BlockDelayRecorder::consecutive_jitter_ms() const {
+  return ordered_samples_ms().mean_abs_delta();
+}
+
+double BlockDelayRecorder::stddev_delay_ms() const {
+  return ordered_samples_ms().stddev();
+}
+
+double BlockDelayRecorder::max_delay_ms() const {
+  return ordered_samples_ms().max();
+}
+
+std::vector<double> BlockDelayRecorder::delays_ms_in_order() const {
+  std::vector<double> out;
+  out.reserve(by_block_.size());
+  for (const Entry& e : by_block_) out.push_back(to_ms(e.delay));
+  return out;
+}
+
+}  // namespace fmtcp::metrics

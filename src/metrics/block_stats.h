@@ -1,0 +1,53 @@
+// Block-granularity delay and jitter, as the paper measures them (§V):
+// the delivery delay of a block runs from the transmission of its first
+// symbol (or first byte, for MPTCP) to the sender receiving the ACK that
+// confirms the block decoded (or was cumulatively acknowledged).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace fmtcp::metrics {
+
+class BlockDelayRecorder {
+ public:
+  /// Records the completion of `block` with the given sender-measured
+  /// delivery delay. Blocks may complete out of order; samples are kept
+  /// in block-id order for the Fig. 7 sequence plot.
+  void record(std::uint64_t block, SimTime delay);
+
+  std::size_t completed_blocks() const { return by_block_.size(); }
+
+  /// Mean delivery delay in milliseconds.
+  double mean_delay_ms() const;
+
+  /// Jitter: standard deviation of block delivery delays, in
+  /// milliseconds — the delay-variation spread Fig. 6 reports.
+  double jitter_ms() const;
+
+  /// Mean absolute difference between consecutive blocks' delivery
+  /// delays (an alternative, smoother jitter definition).
+  double consecutive_jitter_ms() const;
+
+  /// Standard deviation of block delays in milliseconds (== jitter_ms).
+  double stddev_delay_ms() const;
+
+  double max_delay_ms() const;
+
+  /// Delay of each completed block in id order, milliseconds.
+  std::vector<double> delays_ms_in_order() const;
+
+ private:
+  struct Entry {
+    std::uint64_t block;
+    SimTime delay;
+  };
+  SampleSet ordered_samples_ms() const;
+
+  std::vector<Entry> by_block_;  ///< Kept sorted by block id.
+};
+
+}  // namespace fmtcp::metrics

@@ -1,0 +1,24 @@
+#include "metrics/goodput.h"
+
+#include "common/check.h"
+
+namespace fmtcp::metrics {
+
+GoodputMeter::GoodputMeter(SimTime bin_width) : series_(bin_width) {}
+
+void GoodputMeter::on_delivered(SimTime t, std::size_t bytes) {
+  series_.add(t, static_cast<double>(bytes));
+  total_bytes_ += bytes;
+  last_delivery_ = t;
+}
+
+double GoodputMeter::mean_rate(SimTime horizon) const {
+  FMTCP_CHECK(horizon > 0);
+  return static_cast<double>(total_bytes_) / to_seconds(horizon);
+}
+
+double GoodputMeter::mean_rate_MBps(SimTime horizon) const {
+  return mean_rate(horizon) / 1e6;
+}
+
+}  // namespace fmtcp::metrics

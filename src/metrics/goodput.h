@@ -1,0 +1,39 @@
+// Goodput measurement: application bytes delivered in order, over time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "common/timeseries.h"
+
+namespace fmtcp::metrics {
+
+class GoodputMeter {
+ public:
+  /// `bin_width` controls the resolution of the rate-over-time series
+  /// (Fig. 4 uses multi-second bins).
+  explicit GoodputMeter(SimTime bin_width = kSecond);
+
+  /// Records `bytes` of application data delivered at time `t`.
+  void on_delivered(SimTime t, std::size_t bytes);
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Time of the last delivery (0 if none).
+  SimTime last_delivery() const { return last_delivery_; }
+
+  /// Mean goodput in bytes/second over [0, horizon].
+  double mean_rate(SimTime horizon) const;
+
+  /// Mean goodput in MB/s over [0, horizon] (paper's Fig. 3/4 unit).
+  double mean_rate_MBps(SimTime horizon) const;
+
+  const BinnedSeries& series() const { return series_; }
+
+ private:
+  BinnedSeries series_;
+  std::uint64_t total_bytes_ = 0;
+  SimTime last_delivery_ = 0;
+};
+
+}  // namespace fmtcp::metrics

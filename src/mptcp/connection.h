@@ -1,0 +1,56 @@
+// IETF-MPTCP connection wiring (the paper's comparison baseline).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "metrics/block_stats.h"
+#include "metrics/goodput.h"
+#include "mptcp/receiver.h"
+#include "mptcp/sender.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "tcp/congestion.h"
+#include "tcp/subflow.h"
+
+namespace fmtcp::mptcp {
+
+struct MptcpConnectionConfig {
+  MptcpSenderConfig sender;
+  tcp::SubflowConfig subflow;
+  /// Receiver-side subflow behaviour (delayed ACKs etc.).
+  tcp::SubflowReceiverConfig receiver;
+  /// Connection-level receive buffer (drives receive-window blocking).
+  std::size_t receive_buffer_bytes = 128 * 1024;
+  /// Couple the subflows with LIA (RFC 6356) instead of per-subflow Reno.
+  bool use_lia = false;
+  bool seed_loss_hint = true;
+  SimTime goodput_bin = kSecond;
+};
+
+class MptcpConnection {
+ public:
+  MptcpConnection(sim::Simulator& simulator, net::Topology& topology,
+                  const MptcpConnectionConfig& config);
+
+  void start() { sender_->start(); }
+
+  MptcpSender& sender() { return *sender_; }
+  MptcpReceiver& receiver() { return *receiver_; }
+  tcp::Subflow& subflow(std::size_t i) { return *subflows_.at(i); }
+  std::size_t subflow_count() const { return subflows_.size(); }
+
+  const metrics::GoodputMeter& goodput() const { return goodput_; }
+  const metrics::BlockDelayRecorder& block_delays() const { return delays_; }
+
+ private:
+  metrics::GoodputMeter goodput_;
+  metrics::BlockDelayRecorder delays_;
+  std::unique_ptr<tcp::LiaGroup> lia_group_;
+  std::unique_ptr<MptcpSender> sender_;
+  std::unique_ptr<MptcpReceiver> receiver_;
+  std::vector<std::unique_ptr<tcp::Subflow>> subflows_;
+  std::vector<std::unique_ptr<tcp::SubflowReceiver>> subflow_receivers_;
+};
+
+}  // namespace fmtcp::mptcp

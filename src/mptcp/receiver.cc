@@ -1,0 +1,90 @@
+#include "mptcp/receiver.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fmtcp::mptcp {
+
+MptcpReceiver::MptcpReceiver(sim::Simulator& simulator,
+                             std::size_t buffer_bytes,
+                             metrics::GoodputMeter* goodput)
+    : simulator_(simulator), buffer_bytes_(buffer_bytes), goodput_(goodput) {
+  FMTCP_CHECK(buffer_bytes > 0);
+}
+
+std::uint32_t MptcpReceiver::advertised_window() const {
+  const std::size_t free_bytes =
+      buffer_bytes_ > ooo_bytes_ ? buffer_bytes_ - ooo_bytes_ : 0;
+  return static_cast<std::uint32_t>(
+      std::min<std::size_t>(free_bytes, UINT32_MAX));
+}
+
+void MptcpReceiver::on_segment(std::uint32_t /*subflow*/,
+                               const net::Packet& p) {
+  if (p.data_len == 0) return;
+  std::uint64_t start = p.data_seq;
+  const std::uint64_t end = p.data_seq + p.data_len;
+  if (end <= rcv_data_next_) {
+    duplicate_bytes_ += p.data_len;
+    return;
+  }
+  if (start < rcv_data_next_) {
+    duplicate_bytes_ += rcv_data_next_ - start;
+    start = rcv_data_next_;
+  }
+  insert_range(start, end);
+  advance_in_order();
+  max_ooo_bytes_ = std::max(max_ooo_bytes_, ooo_bytes_);
+}
+
+void MptcpReceiver::insert_range(std::uint64_t start, std::uint64_t end) {
+  FMTCP_DCHECK(start < end);
+  // Merge with any overlapping or adjacent existing ranges.
+  auto it = ooo_ranges_.lower_bound(start);
+  if (it != ooo_ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) it = prev;
+  }
+  while (it != ooo_ranges_.end() && it->first <= end) {
+    const std::uint64_t lo = std::max(start, it->first);
+    const std::uint64_t hi = std::min(end, it->second);
+    if (hi > lo) duplicate_bytes_ += hi - lo;  // Overlap re-received.
+    start = std::min(start, it->first);
+    end = std::max(end, it->second);
+    ooo_bytes_ -= it->second - it->first;
+    it = ooo_ranges_.erase(it);
+  }
+  ooo_ranges_[start] = end;
+  ooo_bytes_ += end - start;
+}
+
+void MptcpReceiver::advance_in_order() {
+  auto it = ooo_ranges_.find(rcv_data_next_);
+  // The front range may also start below rcv_data_next_ after merges.
+  if (it == ooo_ranges_.end() && !ooo_ranges_.empty() &&
+      ooo_ranges_.begin()->first <= rcv_data_next_) {
+    it = ooo_ranges_.begin();
+  }
+  if (it == ooo_ranges_.end() || it->first > rcv_data_next_) return;
+
+  const std::uint64_t delivered_to = it->second;
+  const std::uint64_t len = delivered_to - rcv_data_next_;
+  ooo_bytes_ -= it->second - it->first;
+  ooo_ranges_.erase(it);
+  rcv_data_next_ = delivered_to;
+  delivered_bytes_ += len;
+  if (goodput_ != nullptr) {
+    goodput_->on_delivered(simulator_.now(), len);
+  }
+}
+
+void MptcpReceiver::fill_ack(std::uint32_t /*subflow*/,
+                             const net::Packet& /*data*/, net::Packet& ack,
+                             std::size_t& extra_bytes) {
+  ack.data_seq = rcv_data_next_;
+  ack.window = advertised_window();
+  extra_bytes += 12;  // DSS data-ACK option footprint.
+}
+
+}  // namespace fmtcp::mptcp

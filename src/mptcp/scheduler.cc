@@ -1,0 +1,45 @@
+#include "mptcp/scheduler.h"
+
+#include "common/check.h"
+
+namespace fmtcp::mptcp {
+
+bool Scheduler::grant(std::uint32_t subflow,
+                      const std::vector<tcp::Subflow*>& subflows) {
+  FMTCP_CHECK(subflow < subflows.size());
+  switch (policy_) {
+    case SchedulerPolicy::kOpportunistic:
+      return true;
+
+    case SchedulerPolicy::kLowestRttFirst: {
+      // Grant unless another subflow with free window space has a
+      // strictly lower smoothed RTT (it should be filled first; it will
+      // pull on its own).
+      const SimTime mine = subflows[subflow]->srtt();
+      for (const tcp::Subflow* other : subflows) {
+        if (other->id() == subflow) continue;
+        if (other->window_space() > 0 && other->srtt() < mine) {
+          return false;
+        }
+      }
+      return true;
+    }
+
+    case SchedulerPolicy::kRoundRobin: {
+      // Strict rotation among subflows that currently have window space.
+      if (rr_next_ == subflow) {
+        rr_next_ = (rr_next_ + 1) % subflows.size();
+        return true;
+      }
+      // Work-conserving: if the turn-holder cannot send, pass the turn.
+      if (subflows[rr_next_]->window_space() == 0) {
+        rr_next_ = (subflow + 1) % subflows.size();
+        return true;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fmtcp::mptcp

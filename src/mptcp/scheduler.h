@@ -1,0 +1,39 @@
+// MPTCP packet scheduling policies.
+//
+// The subflows pull data when their congestion window opens; the policy
+// decides whether a pulling subflow is granted the next data-sequence
+// range. kOpportunistic (grant whenever flow control allows) matches the
+// era's IETF-MPTCP behaviour and is the paper's baseline; kLowestRttFirst
+// and kRoundRobin are provided for ablations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tcp/subflow.h"
+
+namespace fmtcp::mptcp {
+
+enum class SchedulerPolicy {
+  kOpportunistic,
+  kLowestRttFirst,
+  kRoundRobin,
+};
+
+class Scheduler {
+ public:
+  Scheduler(SchedulerPolicy policy) : policy_(policy) {}
+
+  /// True if `subflow` (which has window space and is asking for data)
+  /// should be granted the next segment, given all subflows' state.
+  bool grant(std::uint32_t subflow,
+             const std::vector<tcp::Subflow*>& subflows);
+
+  SchedulerPolicy policy() const { return policy_; }
+
+ private:
+  SchedulerPolicy policy_;
+  std::uint32_t rr_next_ = 0;
+};
+
+}  // namespace fmtcp::mptcp

@@ -1,0 +1,140 @@
+#include "mptcp/sender.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fmtcp::mptcp {
+
+MptcpSender::MptcpSender(sim::Simulator& simulator,
+                         const MptcpSenderConfig& config,
+                         metrics::BlockDelayRecorder* delays)
+    : simulator_(simulator),
+      config_(config),
+      delays_(delays),
+      scheduler_(config.scheduler) {
+  FMTCP_CHECK(config.segment_bytes > 0);
+  FMTCP_CHECK(config.metric_block_bytes > 0);
+}
+
+void MptcpSender::register_subflow(tcp::Subflow* subflow) {
+  FMTCP_CHECK(subflow != nullptr);
+  FMTCP_CHECK(subflow->id() == subflows_.size());
+  subflows_.push_back(subflow);
+}
+
+void MptcpSender::start() {
+  for (tcp::Subflow* subflow : subflows_) {
+    subflow->notify_send_opportunity();
+  }
+}
+
+std::optional<tcp::SegmentContent> MptcpSender::next_segment(
+    std::uint32_t subflow) {
+  // Reinjections first: a lost range re-sent on a *different* subflow
+  // repairs the head-of-line hole without waiting for the loser's RTO.
+  while (!reinjection_queue_.empty()) {
+    const Reinjection r = reinjection_queue_.front();
+    if (r.data_seq + r.data_len <= data_acked_) {
+      reinjection_queue_.pop_front();  // Already repaired.
+      continue;
+    }
+    if (r.lost_on == subflow) break;  // Let another subflow take it.
+    reinjection_queue_.pop_front();
+    tcp::SegmentContent content;
+    content.data_seq = r.data_seq;
+    content.data_len = r.data_len;
+    content.payload_bytes = r.data_len;
+    ++reinjections_;
+    return content;
+  }
+
+  // Application limit.
+  if (config_.total_bytes != 0 && data_next_ >= config_.total_bytes) {
+    return std::nullopt;
+  }
+  const auto len = static_cast<std::uint32_t>(
+      config_.total_bytes == 0
+          ? config_.segment_bytes
+          : std::min<std::uint64_t>(config_.segment_bytes,
+                                    config_.total_bytes - data_next_));
+
+  // Connection-level flow control: never exceed the advertised window
+  // beyond the last data-level ACK.
+  const std::uint64_t in_flight = data_next_ - data_acked_;
+  if (in_flight + len > peer_window_) {
+    ++window_limited_;
+    return std::nullopt;
+  }
+
+  if (!scheduler_.grant(subflow, subflows_)) return std::nullopt;
+
+  tcp::SegmentContent content;
+  content.data_seq = data_next_;
+  content.data_len = len;
+  content.payload_bytes = len;
+  note_block_first_sent(data_next_);
+  data_next_ += len;
+  return content;
+}
+
+void MptcpSender::note_block_first_sent(std::uint64_t data_seq) {
+  if (delays_ == nullptr) return;
+  const std::uint64_t block = data_seq / config_.metric_block_bytes;
+  block_first_sent_.try_emplace(block, simulator_.now());
+}
+
+void MptcpSender::complete_blocks_up_to(std::uint64_t data_acked) {
+  // A metric block completes when the cumulative data ACK passes its end.
+  const std::uint64_t complete_blocks =
+      data_acked / config_.metric_block_bytes;
+  while (!block_first_sent_.empty() &&
+         block_first_sent_.begin()->first < complete_blocks) {
+    const auto [block, first_sent] = *block_first_sent_.begin();
+    block_first_sent_.erase(block_first_sent_.begin());
+    ++blocks_completed_;
+    if (delays_ != nullptr) {
+      delays_->record(block, simulator_.now() - first_sent);
+    }
+  }
+}
+
+void MptcpSender::on_segment_lost(std::uint32_t subflow,
+                                  std::uint64_t /*seq*/,
+                                  const tcp::SegmentContent& content) {
+  if (!config_.enable_reinjection || content.data_len == 0) return;
+  if (content.data_seq + content.data_len <= data_acked_) return;
+  // Dedup: skip if an identical range is already queued.
+  for (const Reinjection& r : reinjection_queue_) {
+    if (r.data_seq == content.data_seq) return;
+  }
+  reinjection_queue_.push_back(
+      {content.data_seq, content.data_len, subflow});
+  schedule_poke();
+}
+
+void MptcpSender::on_ack_info(std::uint32_t /*subflow*/,
+                              const net::Packet& ack) {
+  peer_window_ = ack.window;
+  if (ack.data_seq > data_acked_) {
+    data_acked_ = ack.data_seq;
+    complete_blocks_up_to(data_acked_);
+  }
+  // A window update or data-level ACK may unblock the other subflows;
+  // poke them via a coalesced zero-delay event (poking inline would let
+  // them pull before this ACK's subflow-level bookkeeping completes).
+  schedule_poke();
+}
+
+void MptcpSender::schedule_poke() {
+  if (poke_pending_) return;
+  poke_pending_ = true;
+  simulator_.schedule_in(0, [this] {
+    poke_pending_ = false;
+    for (tcp::Subflow* subflow : subflows_) {
+      subflow->notify_send_opportunity();
+    }
+  });
+}
+
+}  // namespace fmtcp::mptcp

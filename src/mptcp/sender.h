@@ -1,0 +1,95 @@
+// IETF-MPTCP sender: connection-level data-sequence space striped over
+// TCP subflows, limited by the receiver's advertised window. Lost
+// segments are retransmitted verbatim on their original subflow (no
+// reinjection — the behaviour of the paper's IETF-MPTCP reference).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "metrics/block_stats.h"
+#include "mptcp/scheduler.h"
+#include "sim/simulator.h"
+#include "tcp/subflow.h"
+
+namespace fmtcp::mptcp {
+
+struct MptcpSenderConfig {
+  /// Application bytes per segment (each segment carries one full MSS).
+  std::size_t segment_bytes = 1280;
+  /// Total application bytes to transfer; 0 = unbounded stream.
+  std::uint64_t total_bytes = 0;
+  /// Block size for the paper's block-granularity delay/jitter metrics
+  /// (the data stream is partitioned into equal blocks, §V).
+  std::size_t metric_block_bytes = 10240;
+  SchedulerPolicy scheduler = SchedulerPolicy::kOpportunistic;
+  /// Opportunistic reinjection (extension beyond the paper's baseline):
+  /// when a subflow declares a segment lost, its data range is also
+  /// offered to the other subflows, shortening head-of-line stalls at
+  /// the cost of duplicate bytes. Off by default (the paper's
+  /// IETF-MPTCP reference does not reinject).
+  bool enable_reinjection = false;
+};
+
+class MptcpSender final : public tcp::SegmentProvider {
+ public:
+  /// `delays` may be null; when set, one sample is recorded per metric
+  /// block when the connection-level cumulative ACK passes its end.
+  MptcpSender(sim::Simulator& simulator, const MptcpSenderConfig& config,
+              metrics::BlockDelayRecorder* delays = nullptr);
+
+  void register_subflow(tcp::Subflow* subflow);
+  void start();
+
+  // --- tcp::SegmentProvider ------------------------------------------
+  std::optional<tcp::SegmentContent> next_segment(
+      std::uint32_t subflow) override;
+  void on_segment_lost(std::uint32_t subflow, std::uint64_t seq,
+                       const tcp::SegmentContent& content) override;
+  void on_ack_info(std::uint32_t subflow, const net::Packet& ack) override;
+
+  std::uint64_t data_next() const { return data_next_; }
+  std::uint64_t data_acked() const { return data_acked_; }
+  std::uint32_t peer_window() const { return peer_window_; }
+  std::uint64_t blocks_completed() const { return blocks_completed_; }
+  /// Times the flow-control window stopped a willing subflow.
+  std::uint64_t window_limited_events() const { return window_limited_; }
+  /// Segments re-sent on another subflow after a loss (reinjection on).
+  std::uint64_t reinjections() const { return reinjections_; }
+
+ private:
+  void note_block_first_sent(std::uint64_t data_seq);
+  void complete_blocks_up_to(std::uint64_t data_acked);
+  /// Coalesced zero-delay re-offer of send opportunities to all subflows.
+  void schedule_poke();
+
+  sim::Simulator& simulator_;
+  MptcpSenderConfig config_;
+  metrics::BlockDelayRecorder* delays_;
+  Scheduler scheduler_;
+  std::vector<tcp::Subflow*> subflows_;
+
+  std::uint64_t data_next_ = 0;
+  std::uint64_t data_acked_ = 0;
+  std::uint32_t peer_window_ = UINT32_MAX;
+
+  /// First-transmission time of each metric block not yet completed.
+  std::map<std::uint64_t, SimTime> block_first_sent_;
+  std::uint64_t blocks_completed_ = 0;
+  std::uint64_t window_limited_ = 0;
+  std::uint64_t reinjections_ = 0;
+  bool poke_pending_ = false;
+
+  struct Reinjection {
+    std::uint64_t data_seq;
+    std::uint32_t data_len;
+    std::uint32_t lost_on;  ///< Subflow that lost it.
+  };
+  /// Lost ranges awaiting reinjection on another subflow (FIFO).
+  std::deque<Reinjection> reinjection_queue_;
+};
+
+}  // namespace fmtcp::mptcp

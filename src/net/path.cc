@@ -1,0 +1,19 @@
+#include "net/path.h"
+
+namespace fmtcp::net {
+
+Path::Path(sim::Simulator& simulator, const PathConfig& config)
+    : config_(config) {
+  LinkConfig link_config;
+  link_config.bandwidth_Bps = config.bandwidth_Bps;
+  link_config.prop_delay = config.one_way_delay;
+  link_config.queue_packets = config.queue_packets;
+  link_config.prop_jitter_mean = config.delay_jitter_mean;
+
+  forward_ = std::make_unique<Link>(simulator, link_config,
+                                    make_bernoulli(config.loss_rate));
+  reverse_ = std::make_unique<Link>(simulator, link_config,
+                                    make_bernoulli(config.ack_loss_rate));
+}
+
+}  // namespace fmtcp::net

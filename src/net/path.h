@@ -1,0 +1,47 @@
+// A bidirectional end-to-end path: one forward (data) link and one reverse
+// (ACK) link. The paper's topology uses disjoint paths, so a path maps 1:1
+// to a subflow.
+#pragma once
+
+#include <memory>
+
+#include "net/link.h"
+
+namespace fmtcp::net {
+
+/// Per-path parameters as the paper states them (Table I): a one-way
+/// propagation delay and an i.i.d. loss rate on the data direction.
+struct PathConfig {
+  SimTime one_way_delay = from_ms(100);
+  double loss_rate = 0.0;       ///< Forward (data) loss probability.
+  double ack_loss_rate = 0.0;   ///< Reverse (ACK) loss probability.
+  double bandwidth_Bps = 12.5e6;
+  std::size_t queue_packets = 200;
+  /// Mean exponential per-packet delay jitter (0 = none); both
+  /// directions.
+  SimTime delay_jitter_mean = 0;
+};
+
+class Path {
+ public:
+  Path(sim::Simulator& simulator, const PathConfig& config);
+
+  Link& forward() { return *forward_; }
+  Link& reverse() { return *reverse_; }
+  const PathConfig& config() const { return config_; }
+
+  /// Replaces the forward-direction loss model (loss-surge scenarios).
+  void set_forward_loss(std::unique_ptr<LossModel> loss) {
+    forward_->set_loss_model(std::move(loss));
+  }
+
+  /// Base round-trip propagation time (no queueing): 2 * one-way delay.
+  SimTime base_rtt() const { return 2 * config_.one_way_delay; }
+
+ private:
+  PathConfig config_;
+  std::unique_ptr<Link> forward_;
+  std::unique_ptr<Link> reverse_;
+};
+
+}  // namespace fmtcp::net

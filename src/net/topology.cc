@@ -1,0 +1,23 @@
+#include "net/topology.h"
+
+#include "common/check.h"
+
+namespace fmtcp::net {
+
+Topology::Topology(sim::Simulator& simulator,
+                   const std::vector<PathConfig>& paths) {
+  FMTCP_CHECK(!paths.empty());
+  paths_.reserve(paths.size());
+  for (const PathConfig& cfg : paths) {
+    paths_.push_back(std::make_unique<Path>(simulator, cfg));
+  }
+}
+
+Topology make_two_path(sim::Simulator& simulator, const PathConfig& path2) {
+  PathConfig path1;
+  path1.one_way_delay = from_ms(100);
+  path1.loss_rate = 0.0;
+  return Topology(simulator, {path1, path2});
+}
+
+}  // namespace fmtcp::net

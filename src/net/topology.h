@@ -1,0 +1,29 @@
+// Topology builder for the paper's evaluation: N disjoint paths between
+// one sender host and one receiver host (N = 2 in all paper experiments).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/path.h"
+
+namespace fmtcp::net {
+
+class Topology {
+ public:
+  /// Builds one disjoint Path per entry of `paths`.
+  Topology(sim::Simulator& simulator, const std::vector<PathConfig>& paths);
+
+  std::size_t path_count() const { return paths_.size(); }
+  Path& path(std::size_t i) { return *paths_.at(i); }
+  const Path& path(std::size_t i) const { return *paths_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Path>> paths_;
+};
+
+/// The paper's standard setup: subflow 1 fixed (100 ms, lossless) and
+/// subflow 2 configured by the caller.
+Topology make_two_path(sim::Simulator& simulator, const PathConfig& path2);
+
+}  // namespace fmtcp::net

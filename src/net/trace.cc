@@ -1,0 +1,61 @@
+#include "net/trace.h"
+
+#include "common/check.h"
+
+namespace fmtcp::net {
+
+const char* trace_event_name(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kEnqueue:
+      return "enqueue";
+    case TraceEvent::kQueueDrop:
+      return "queue_drop";
+    case TraceEvent::kChannelDrop:
+      return "channel_drop";
+    case TraceEvent::kDeliver:
+      return "deliver";
+  }
+  return "?";
+}
+
+void CountingTracer::on_packet(TraceEvent event, SimTime /*when*/,
+                               std::uint32_t /*link_id*/,
+                               const Packet& /*packet*/) {
+  ++counts_[static_cast<std::uint8_t>(event)];
+}
+
+std::uint64_t CountingTracer::count(TraceEvent event) const {
+  return counts_[static_cast<std::uint8_t>(event)];
+}
+
+std::uint64_t CountingTracer::total() const {
+  return counts_[0] + counts_[1] + counts_[2] + counts_[3];
+}
+
+CsvTracer::CsvTracer(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {
+  FMTCP_CHECK(file_ != nullptr);
+  std::fprintf(file_,
+               "time_s,event,link,uid,kind,subflow,seq,size_bytes,"
+               "data_seq,symbols\n");
+}
+
+CsvTracer::~CsvTracer() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvTracer::on_packet(TraceEvent event, SimTime when,
+                          std::uint32_t link_id, const Packet& packet) {
+  std::fprintf(file_, "%.9f,%s,%u,%llu,%s,%u,%llu,%zu,%llu,%zu\n",
+               to_seconds(when), trace_event_name(event), link_id,
+               static_cast<unsigned long long>(packet.uid),
+               packet.kind == PacketKind::kData ? "data" : "ack",
+               packet.subflow,
+               static_cast<unsigned long long>(packet.seq),
+               packet.size_bytes,
+               static_cast<unsigned long long>(packet.data_seq),
+               packet.symbols.size());
+  ++rows_;
+}
+
+}  // namespace fmtcp::net

@@ -1,0 +1,68 @@
+// Packet tracing: an optional per-link observer recording every enqueue,
+// drop, and delivery — the ns-2 trace-file equivalent. Attach a tracer
+// to a Link to debug protocol behaviour or export runs for offline
+// analysis.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/time.h"
+#include "net/packet.h"
+
+namespace fmtcp::net {
+
+enum class TraceEvent : std::uint8_t {
+  kEnqueue,      ///< Packet handed to the link (entered the queue).
+  kQueueDrop,    ///< Drop-tail overflow.
+  kChannelDrop,  ///< Erased by the loss model after transmission.
+  kDeliver,      ///< Arrived at the sink.
+};
+
+const char* trace_event_name(TraceEvent event);
+
+/// Observer interface; one tracer may serve many links.
+class PacketTracer {
+ public:
+  virtual ~PacketTracer() = default;
+
+  /// `link_id` is the caller-chosen identifier set via Link::set_tracer.
+  virtual void on_packet(TraceEvent event, SimTime when,
+                         std::uint32_t link_id, const Packet& packet) = 0;
+};
+
+/// Counts events per type (tests, quick stats).
+class CountingTracer final : public PacketTracer {
+ public:
+  void on_packet(TraceEvent event, SimTime when, std::uint32_t link_id,
+                 const Packet& packet) override;
+
+  std::uint64_t count(TraceEvent event) const;
+  std::uint64_t total() const;
+
+ private:
+  std::uint64_t counts_[4] = {0, 0, 0, 0};
+};
+
+/// Writes one CSV row per event:
+///   time_s,event,link,uid,kind,subflow,seq,size_bytes,data_seq,symbols
+class CsvTracer final : public PacketTracer {
+ public:
+  /// Opens (truncates) `path`; aborts if it cannot be opened.
+  explicit CsvTracer(const std::string& path);
+  ~CsvTracer() override;
+  CsvTracer(const CsvTracer&) = delete;
+  CsvTracer& operator=(const CsvTracer&) = delete;
+
+  void on_packet(TraceEvent event, SimTime when, std::uint32_t link_id,
+                 const Packet& packet) override;
+
+  std::uint64_t rows_written() const { return rows_; }
+
+ private:
+  std::FILE* file_;
+  std::uint64_t rows_ = 0;
+};
+
+}  // namespace fmtcp::net

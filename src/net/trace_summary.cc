@@ -1,0 +1,106 @@
+#include "net/trace_summary.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace fmtcp::net {
+
+double LinkTraceStats::channel_loss_rate() const {
+  const std::uint64_t transmitted = delivered + channel_drops;
+  if (transmitted == 0) return 0.0;
+  return static_cast<double>(channel_drops) /
+         static_cast<double>(transmitted);
+}
+
+double LinkTraceStats::delivery_rate_Bps() const {
+  const double span = last_event_s - first_event_s;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(delivered_bytes) / span;
+}
+
+TraceSummary summarize_trace(std::istream& in) {
+  TraceSummary summary;
+  std::string line;
+  bool header_skipped = false;
+  while (std::getline(in, line)) {
+    if (!header_skipped) {
+      header_skipped = true;
+      if (line.rfind("time_s,", 0) == 0) continue;  // Header row.
+    }
+    if (line.empty()) continue;
+    ++summary.total_rows;
+
+    // time_s,event,link,uid,kind,subflow,seq,size_bytes,data_seq,symbols
+    std::vector<std::string> fields;
+    std::stringstream stream(line);
+    std::string field;
+    while (std::getline(stream, field, ',')) fields.push_back(field);
+    if (fields.size() != 10) {
+      ++summary.malformed_rows;
+      continue;
+    }
+
+    const double time_s = std::strtod(fields[0].c_str(), nullptr);
+    const std::string& event = fields[1];
+    const auto link = static_cast<std::uint32_t>(
+        std::strtoul(fields[2].c_str(), nullptr, 10));
+    const std::string& kind = fields[4];
+    const auto size_bytes =
+        std::strtoull(fields[7].c_str(), nullptr, 10);
+
+    LinkTraceStats& stats = summary.links[link];
+    if (stats.enqueued + stats.queue_drops + stats.channel_drops +
+            stats.delivered ==
+        0) {
+      stats.first_event_s = time_s;
+    }
+    stats.last_event_s = std::max(stats.last_event_s, time_s);
+
+    if (event == "enqueue") {
+      ++stats.enqueued;
+      if (kind == "data") {
+        ++stats.data_packets;
+      } else {
+        ++stats.ack_packets;
+      }
+    } else if (event == "queue_drop") {
+      ++stats.queue_drops;
+    } else if (event == "channel_drop") {
+      ++stats.channel_drops;
+    } else if (event == "deliver") {
+      ++stats.delivered;
+      stats.delivered_bytes += size_bytes;
+    } else {
+      ++summary.malformed_rows;
+    }
+  }
+  return summary;
+}
+
+std::string format_trace_summary(const TraceSummary& summary) {
+  std::ostringstream out;
+  out << "link  enqueued  qdrops  chdrops  delivered  loss%   rate(B/s)  "
+         "data/ack\n";
+  for (const auto& [link, stats] : summary.links) {
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%-5u %-9llu %-7llu %-8llu %-10llu %-6.2f %-10.0f "
+                  "%llu/%llu\n",
+                  link,
+                  static_cast<unsigned long long>(stats.enqueued),
+                  static_cast<unsigned long long>(stats.queue_drops),
+                  static_cast<unsigned long long>(stats.channel_drops),
+                  static_cast<unsigned long long>(stats.delivered),
+                  stats.channel_loss_rate() * 100.0,
+                  stats.delivery_rate_Bps(),
+                  static_cast<unsigned long long>(stats.data_packets),
+                  static_cast<unsigned long long>(stats.ack_packets));
+    out << buffer;
+  }
+  out << "rows: " << summary.total_rows
+      << " (malformed: " << summary.malformed_rows << ")\n";
+  return out.str();
+}
+
+}  // namespace fmtcp::net

@@ -1,0 +1,45 @@
+// Offline analysis of CsvTracer output: parses the CSV back into per-link
+// statistics (the companion to `fmtcp_sim --trace`).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <string>
+
+#include "common/time.h"
+
+namespace fmtcp::net {
+
+/// Aggregate statistics for one traced link.
+struct LinkTraceStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t channel_drops = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t data_packets = 0;
+  std::uint64_t ack_packets = 0;
+  double first_event_s = 0.0;
+  double last_event_s = 0.0;
+
+  /// Fraction of transmitted packets the channel erased.
+  double channel_loss_rate() const;
+  /// Delivered payload rate over the observed span (bytes/second).
+  double delivery_rate_Bps() const;
+};
+
+struct TraceSummary {
+  std::map<std::uint32_t, LinkTraceStats> links;
+  std::uint64_t total_rows = 0;
+  std::uint64_t malformed_rows = 0;
+};
+
+/// Parses a CsvTracer stream (header + rows). Unknown/malformed rows are
+/// counted, not fatal.
+TraceSummary summarize_trace(std::istream& in);
+
+/// Renders the summary as a printable table.
+std::string format_trace_summary(const TraceSummary& summary);
+
+}  // namespace fmtcp::net

@@ -1,0 +1,65 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace fmtcp::sim {
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle Scheduler::schedule_at(SimTime when, std::function<void()> fn) {
+  FMTCP_CHECK(when >= now_);
+  FMTCP_CHECK(fn != nullptr);
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{when, next_seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+EventHandle Scheduler::schedule_in(SimTime delay, std::function<void()> fn) {
+  FMTCP_CHECK(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move out via const_cast, standard
+    // practice for heap-of-move-only payloads.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (entry.state->cancelled) continue;
+    FMTCP_DCHECK(entry.when >= now_);
+    now_ = entry.when;
+    entry.state->fired = true;
+    ++executed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(SimTime deadline) {
+  FMTCP_CHECK(deadline >= now_);
+  while (!queue_.empty()) {
+    if (queue_.top().state->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
+    step();
+  }
+  now_ = deadline;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace fmtcp::sim

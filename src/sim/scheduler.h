@@ -1,0 +1,94 @@
+// Discrete-event scheduler: the core of the ns-2 substitute.
+//
+// Events are (time, callback) pairs ordered by time with FIFO tie-breaking
+// (insertion sequence), which makes runs fully deterministic. Cancellation
+// is lazy: a cancelled event stays in the heap but its callback is skipped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace fmtcp::sim {
+
+/// Handle for cancelling a scheduled event. Cheap to copy; outliving the
+/// scheduler is safe (cancel becomes a no-op).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void cancel();
+
+  /// True if the event is still scheduled (not fired, not cancelled).
+  bool pending() const;
+
+ private:
+  friend class Scheduler;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Min-heap event queue with a monotonically advancing clock.
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulation time. Starts at 0 and never moves backwards.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (>= now()).
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` (>= 0) after now().
+  EventHandle schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Runs the next non-cancelled event; returns false if the queue is
+  /// empty. Advances now() to the event's time before invoking it.
+  bool step();
+
+  /// Runs events until the queue is empty or now() would exceed `deadline`;
+  /// leaves now() at min(deadline, last event time). Events scheduled
+  /// exactly at `deadline` are executed.
+  void run_until(SimTime deadline);
+
+  /// Runs until the queue drains completely.
+  void run();
+
+  /// Number of events executed so far (diagnostics).
+  std::uint64_t executed_count() const { return executed_; }
+
+  /// Events currently queued, including lazily-cancelled ones.
+  std::size_t queued_count() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace fmtcp::sim

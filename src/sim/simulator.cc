@@ -1,0 +1,7 @@
+#include "sim/simulator.h"
+
+namespace fmtcp::sim {
+
+Simulator::Simulator(std::uint64_t seed) : root_rng_(seed) {}
+
+}  // namespace fmtcp::sim

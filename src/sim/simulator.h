@@ -1,0 +1,46 @@
+// Simulator: scheduler + root RNG, the per-run context object.
+//
+// Every simulation component holds a Simulator& and uses it for time,
+// event scheduling, and seeded randomness. One Simulator == one run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "sim/scheduler.h"
+
+namespace fmtcp::sim {
+
+class Simulator {
+ public:
+  /// `seed` determines every random draw in the run.
+  explicit Simulator(std::uint64_t seed = 1);
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return scheduler_.now(); }
+
+  EventHandle schedule_at(SimTime when, std::function<void()> fn) {
+    return scheduler_.schedule_at(when, std::move(fn));
+  }
+  EventHandle schedule_in(SimTime delay, std::function<void()> fn) {
+    return scheduler_.schedule_in(delay, std::move(fn));
+  }
+
+  void run_until(SimTime deadline) { scheduler_.run_until(deadline); }
+  void run() { scheduler_.run(); }
+  bool step() { return scheduler_.step(); }
+
+  Scheduler& scheduler() { return scheduler_; }
+
+  /// Derives an independent RNG stream for a component; call once per
+  /// component at construction so streams do not depend on event order.
+  Rng fork_rng() { return root_rng_.fork(); }
+
+ private:
+  Scheduler scheduler_;
+  Rng root_rng_;
+};
+
+}  // namespace fmtcp::sim

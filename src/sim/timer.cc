@@ -1,0 +1,38 @@
+#include "sim/timer.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace fmtcp::sim {
+
+Timer::Timer(Simulator& simulator, std::function<void()> on_expire)
+    : simulator_(simulator), on_expire_(std::move(on_expire)) {
+  FMTCP_CHECK(on_expire_ != nullptr);
+}
+
+Timer::~Timer() { cancel(); }
+
+void Timer::schedule(SimTime delay) {
+  schedule_at(simulator_.now() + delay);
+}
+
+void Timer::schedule_at(SimTime when) {
+  cancel();
+  expiry_ = when;
+  handle_ = simulator_.schedule_at(when, [this] { fire(); });
+}
+
+void Timer::cancel() {
+  handle_.cancel();
+  expiry_ = kNever;
+}
+
+bool Timer::pending() const { return handle_.pending(); }
+
+void Timer::fire() {
+  expiry_ = kNever;
+  on_expire_();
+}
+
+}  // namespace fmtcp::sim

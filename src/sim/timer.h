@@ -1,0 +1,46 @@
+// Restartable one-shot timer (e.g. TCP retransmission timers).
+//
+// A Timer owns at most one pending event. Re-scheduling cancels the
+// previous expiry. Destroying the Timer cancels it, so a component's
+// callback can never fire after the component is gone (RAII lifetime).
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.h"
+
+namespace fmtcp::sim {
+
+class Timer {
+ public:
+  /// `on_expire` is invoked at expiry; it may re-schedule the timer.
+  Timer(Simulator& simulator, std::function<void()> on_expire);
+  ~Timer();
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)schedules expiry `delay` from now. Cancels any pending expiry.
+  void schedule(SimTime delay);
+
+  /// (Re)schedules expiry at absolute time `when`.
+  void schedule_at(SimTime when);
+
+  /// Cancels the pending expiry, if any. Idempotent.
+  void cancel();
+
+  /// True if an expiry is pending.
+  bool pending() const;
+
+  /// Absolute expiry time; kNever when not pending.
+  SimTime expiry() const { return pending() ? expiry_ : kNever; }
+
+ private:
+  void fire();
+
+  Simulator& simulator_;
+  std::function<void()> on_expire_;
+  EventHandle handle_;
+  SimTime expiry_ = kNever;
+};
+
+}  // namespace fmtcp::sim

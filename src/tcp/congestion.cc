@@ -1,0 +1,156 @@
+#include "tcp/congestion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fmtcp::tcp {
+
+RenoCc::RenoCc(const RenoConfig& config)
+    : config_(config),
+      cwnd_(config.initial_cwnd),
+      ssthresh_(config.initial_ssthresh) {
+  FMTCP_CHECK(config.initial_cwnd >= 1.0);
+}
+
+void RenoCc::on_ack(std::uint64_t newly_acked) {
+  for (std::uint64_t i = 0; i < newly_acked; ++i) {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;  // Slow start: one segment per ACKed segment.
+    } else {
+      cwnd_ += 1.0 / cwnd_;  // Congestion avoidance.
+    }
+  }
+  cwnd_ = std::min(cwnd_, config_.max_cwnd);
+}
+
+void RenoCc::on_fast_retransmit() {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = ssthresh_;
+}
+
+void RenoCc::on_timeout() {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 1.0;
+}
+
+CubicCc::CubicCc(std::function<SimTime()> now, const CubicConfig& config)
+    : now_(std::move(now)),
+      config_(config),
+      cwnd_(config.initial_cwnd),
+      ssthresh_(config.initial_ssthresh),
+      w_max_(config.initial_cwnd) {
+  FMTCP_CHECK(now_ != nullptr);
+  FMTCP_CHECK(config.beta > 0.0 && config.beta < 1.0);
+  FMTCP_CHECK(config.c > 0.0);
+  start_epoch();
+}
+
+void CubicCc::start_epoch() {
+  epoch_start_ = now_();
+  // K = cbrt(W_max (1 - beta) / C): time until the cubic curve returns
+  // to W_max from the post-loss window.
+  k_seconds_ = std::cbrt(w_max_ * (1.0 - config_.beta) / config_.c);
+}
+
+double CubicCc::target_window() const {
+  const double t = to_seconds(now_() - epoch_start_);
+  const double dt = t - k_seconds_;
+  return config_.c * dt * dt * dt + w_max_;
+}
+
+void CubicCc::on_ack(std::uint64_t newly_acked) {
+  for (std::uint64_t i = 0; i < newly_acked; ++i) {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;  // Standard slow start.
+      continue;
+    }
+    const double target = target_window();
+    if (target > cwnd_) {
+      // Approach the cubic target: the classic per-ACK increment.
+      cwnd_ += (target - cwnd_) / cwnd_;
+    } else {
+      cwnd_ += 0.01 / cwnd_;  // Minimal probing in the plateau.
+    }
+  }
+  cwnd_ = std::min(cwnd_, config_.max_cwnd);
+}
+
+void CubicCc::on_fast_retransmit() {
+  w_max_ = cwnd_;
+  cwnd_ = std::max(cwnd_ * config_.beta, 2.0);
+  ssthresh_ = cwnd_;
+  start_epoch();
+}
+
+void CubicCc::on_timeout() {
+  w_max_ = cwnd_;
+  ssthresh_ = std::max(cwnd_ * config_.beta, 2.0);
+  cwnd_ = 1.0;
+  start_epoch();
+}
+
+void LiaGroup::add_member(LiaCc* member) { members_.push_back(member); }
+
+void LiaGroup::remove_member(LiaCc* member) {
+  std::erase(members_, member);
+}
+
+double LiaGroup::total_cwnd() const {
+  double total = 0.0;
+  for (const LiaCc* m : members_) total += m->cwnd();
+  return total;
+}
+
+double LiaGroup::alpha() const {
+  // RFC 6356 formula with RTTs in seconds.
+  double best = 0.0;
+  double denom = 0.0;
+  for (const LiaCc* m : members_) {
+    const double rtt = std::max(1e-6, to_seconds(m->rtt()));
+    best = std::max(best, m->cwnd() / (rtt * rtt));
+    denom += m->cwnd() / rtt;
+  }
+  if (denom <= 0.0) return 1.0;
+  return total_cwnd() * best / (denom * denom);
+}
+
+LiaCc::LiaCc(LiaGroup& group, const RenoConfig& config)
+    : group_(group),
+      config_(config),
+      cwnd_(config.initial_cwnd),
+      ssthresh_(config.initial_ssthresh) {
+  group_.add_member(this);
+}
+
+LiaCc::~LiaCc() { group_.remove_member(this); }
+
+void LiaCc::on_ack(std::uint64_t newly_acked) {
+  for (std::uint64_t i = 0; i < newly_acked; ++i) {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;
+    } else {
+      const double coupled = group_.alpha() / group_.total_cwnd();
+      const double uncoupled = 1.0 / cwnd_;
+      cwnd_ += std::min(coupled, uncoupled);
+    }
+  }
+  cwnd_ = std::min(cwnd_, config_.max_cwnd);
+}
+
+void LiaCc::on_fast_retransmit() {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = ssthresh_;
+}
+
+void LiaCc::on_timeout() {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 1.0;
+}
+
+void LiaCc::set_rtt(SimTime srtt) {
+  if (srtt > 0) srtt_ = srtt;
+}
+
+}  // namespace fmtcp::tcp

@@ -1,0 +1,42 @@
+#include "tcp/rtt_estimator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fmtcp::tcp {
+
+RttEstimator::RttEstimator(const RttConfig& config)
+    : config_(config), base_rto_(config.initial_rto) {
+  FMTCP_CHECK(config_.min_rto > 0);
+  FMTCP_CHECK(config_.max_rto >= config_.min_rto);
+}
+
+void RttEstimator::add_sample(SimTime rtt) {
+  FMTCP_CHECK(rtt >= 0);
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+  } else {
+    const SimTime err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + rtt) / 8;
+  }
+  base_rto_ = srtt_ + std::max(config_.clock_granularity, 4 * rttvar_);
+  backoff_shift_ = 0;
+}
+
+void RttEstimator::backoff() {
+  if (backoff_shift_ < 16) ++backoff_shift_;
+}
+
+SimTime RttEstimator::rto() const {
+  SimTime rto = base_rto_;
+  for (int i = 0; i < backoff_shift_ && rto < config_.max_rto; ++i) {
+    rto *= 2;
+  }
+  return std::clamp(rto, config_.min_rto, config_.max_rto);
+}
+
+}  // namespace fmtcp::tcp

@@ -1,0 +1,49 @@
+// RFC 6298 round-trip-time estimation and retransmission timeout.
+#pragma once
+
+#include "common/time.h"
+
+namespace fmtcp::tcp {
+
+struct RttConfig {
+  SimTime min_rto = from_ms(200);  ///< Lower RTO clamp (ns-2-style 200 ms).
+  SimTime max_rto = 60 * kSecond;  ///< Upper RTO clamp.
+  SimTime initial_rto = kSecond;   ///< RTO before the first sample.
+  SimTime clock_granularity = from_ms(1);  ///< G in RFC 6298.
+};
+
+/// Keeps SRTT/RTTVAR per RFC 6298 and derives the RTO, including
+/// exponential backoff on timeouts.
+class RttEstimator {
+ public:
+  explicit RttEstimator(const RttConfig& config = {});
+
+  /// Feeds one RTT measurement; resets any timeout backoff.
+  void add_sample(SimTime rtt);
+
+  /// Doubles the RTO (called on retransmission timeout).
+  void backoff();
+
+  /// Current retransmission timeout (clamped, with backoff applied).
+  SimTime rto() const;
+
+  /// Smoothed RTT; 0 before the first sample.
+  SimTime srtt() const { return has_sample_ ? srtt_ : 0; }
+
+  /// RTT variation; 0 before the first sample.
+  SimTime rttvar() const { return has_sample_ ? rttvar_ : 0; }
+
+  bool has_sample() const { return has_sample_; }
+
+  const RttConfig& config() const { return config_; }
+
+ private:
+  RttConfig config_;
+  bool has_sample_ = false;
+  SimTime srtt_ = 0;
+  SimTime rttvar_ = 0;
+  SimTime base_rto_;
+  int backoff_shift_ = 0;
+};
+
+}  // namespace fmtcp::tcp

@@ -1,0 +1,44 @@
+#include "tcp/wiring.h"
+
+namespace fmtcp::tcp {
+
+WiredSubflows wire_subflows(sim::Simulator& simulator,
+                            net::Topology& topology,
+                            SegmentProvider& provider, DataSink& sink,
+                            const WiringOptions& options) {
+  WiredSubflows wired;
+  for (std::size_t i = 0; i < topology.path_count(); ++i) {
+    net::Path& path = topology.path(i);
+
+    SubflowConfig config = options.subflow;
+    config.id = static_cast<std::uint32_t>(i);
+    config.fresh_payload_on_retransmit =
+        options.fresh_payload_on_retransmit;
+
+    std::unique_ptr<CongestionControl> cc;
+    if (options.make_cc) cc = options.make_cc(config.id);
+
+    auto subflow = std::make_unique<Subflow>(
+        simulator, config, path.forward(), provider, std::move(cc));
+    if (options.seed_loss_hint) {
+      subflow->set_loss_hint(path.config().loss_rate);
+    }
+
+    auto subflow_receiver = std::make_unique<SubflowReceiver>(
+        simulator, config.id, path.reverse(), sink, options.receiver);
+
+    path.forward().set_sink(
+        [receiver = subflow_receiver.get()](net::Packet p) {
+          receiver->on_data_packet(std::move(p));
+        });
+    path.reverse().set_sink([sf = subflow.get()](net::Packet p) {
+      sf->on_ack_packet(std::move(p));
+    });
+
+    wired.subflows.push_back(std::move(subflow));
+    wired.subflow_receivers.push_back(std::move(subflow_receiver));
+  }
+  return wired;
+}
+
+}  // namespace fmtcp::tcp

@@ -1,0 +1,41 @@
+// Shared wiring: attaches one Subflow/SubflowReceiver pair per path of a
+// Topology to a SegmentProvider/DataSink pair. Used by every protocol's
+// connection class.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "tcp/subflow.h"
+
+namespace fmtcp::tcp {
+
+struct WiredSubflows {
+  std::vector<std::unique_ptr<Subflow>> subflows;
+  std::vector<std::unique_ptr<SubflowReceiver>> subflow_receivers;
+};
+
+struct WiringOptions {
+  /// Template; `id` and `fresh_payload_on_retransmit` are overridden.
+  SubflowConfig subflow;
+  /// Receiver-side behaviour (delayed ACKs etc.).
+  SubflowReceiverConfig receiver;
+  bool fresh_payload_on_retransmit = false;
+  /// Seed each subflow's loss estimate from the path's configured rate.
+  bool seed_loss_hint = true;
+  /// Optional per-subflow congestion-control factory (null = Reno).
+  std::function<std::unique_ptr<CongestionControl>(std::uint32_t)>
+      make_cc;
+};
+
+/// Builds and connects subflows for every path; the caller registers the
+/// returned subflows with its sender.
+WiredSubflows wire_subflows(sim::Simulator& simulator,
+                            net::Topology& topology,
+                            SegmentProvider& provider, DataSink& sink,
+                            const WiringOptions& options);
+
+}  // namespace fmtcp::tcp

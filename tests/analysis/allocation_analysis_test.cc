@@ -1,0 +1,82 @@
+#include "analysis/allocation_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace fmtcp::analysis {
+namespace {
+
+TEST(AllocationAnalysis, ExpectedResponseTimeEq10) {
+  EXPECT_DOUBLE_EQ(expected_response_time(0.2, 1.0, 0.0), 0.2);
+  EXPECT_DOUBLE_EQ(expected_response_time(0.2, 1.0, 0.5), 0.6);
+}
+
+TEST(AllocationAnalysis, SedtEq13) {
+  // SEDT = pR/(1-p) + r/2.
+  EXPECT_DOUBLE_EQ(sedt(0.2, 0.2, 0.0), 0.1);
+  EXPECT_NEAR(sedt(0.2, 0.3, 0.1), 0.1 * 0.3 / 0.9 + 0.1, 1e-12);
+}
+
+TEST(AllocationAnalysis, SedtIncreasesWithLoss) {
+  EXPECT_LT(sedt(0.2, 0.2, 0.01), sedt(0.2, 0.2, 0.1));
+  EXPECT_LT(sedt(0.2, 0.2, 0.1), sedt(0.2, 0.2, 0.3));
+}
+
+TEST(AllocationAnalysis, EdtSingleFormula) {
+  // (1+p) r / (2(1-p)).
+  EXPECT_DOUBLE_EQ(edt_single(0.2, 0.0), 0.1);
+  EXPECT_NEAR(edt_single(0.2, 0.2), 1.2 * 0.2 / 1.6, 1e-12);
+}
+
+TEST(AllocationAnalysis, Lemma1ThresholdAtLeastR1) {
+  for (double p1 : {0.0, 0.05, 0.2}) {
+    for (double p2 : {0.0, 0.1, 0.3}) {
+      EXPECT_GT(lemma1_min_r2(0.2, p1, p2), 0.2);
+    }
+  }
+}
+
+TEST(AllocationAnalysis, Lemma1KnownValue) {
+  // p1 = p2 = 0: factor = 1 + 2 = 3.
+  EXPECT_DOUBLE_EQ(lemma1_min_r2(0.1, 0.0, 0.0), 0.3);
+}
+
+TEST(AllocationAnalysis, DiversityM) {
+  // Identical paths: m = 1.
+  EXPECT_DOUBLE_EQ(diversity_m(0.2, 0.1, 0.2, 0.1), 1.0);
+  // Worse second path: m > 1.
+  EXPECT_GT(diversity_m(0.2, 0.0, 0.4, 0.15), 1.0);
+}
+
+TEST(AllocationAnalysis, Theorem3BoundEq17) {
+  const double m = 3.0;
+  const double bound = theorem3_ratio_bound(0.0, 0.1, m);
+  EXPECT_NEAR(bound, 0.1 + 2.0 + 0.9 * 3.0, 1e-12);
+}
+
+TEST(AllocationAnalysis, FmtcpBeatsMptcpBeyondThreshold) {
+  // For m above the threshold, the FMTCP bound is below m (MPTCP ratio).
+  const double p1 = 0.0;
+  const double p2 = 0.1;
+  const double threshold = fmtcp_advantage_threshold(p1, p2);
+  EXPECT_NEAR(threshold, 1.0 + 2.0 / 0.1, 1e-12);
+  const double m = threshold * 1.2;
+  EXPECT_LT(theorem3_ratio_bound(p1, p2, m), m);
+  const double m_small = threshold * 0.8;
+  EXPECT_GT(theorem3_ratio_bound(p1, p2, m_small), m_small);
+}
+
+TEST(AllocationAnalysis, ThresholdDropsWithWorseLoss) {
+  // The lossier path 2 is, the sooner FMTCP wins.
+  EXPECT_GT(fmtcp_advantage_threshold(0.0, 0.05),
+            fmtcp_advantage_threshold(0.0, 0.2));
+}
+
+TEST(AllocationAnalysis, SedtOrderingTheorem2Shape) {
+  // Higher-quality path (smaller r, p) has smaller SEDT.
+  const double good = sedt(0.1, 0.1, 0.01);
+  const double bad = sedt(0.3, 0.3, 0.15);
+  EXPECT_LT(good, bad);
+}
+
+}  // namespace
+}  // namespace fmtcp::analysis

@@ -1,0 +1,39 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace fmtcp {
+namespace {
+
+TEST(Time, Constants) {
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+}
+
+TEST(Time, FromMs) {
+  EXPECT_EQ(from_ms(100), 100 * kMillisecond);
+  EXPECT_EQ(from_ms(0), 0);
+}
+
+TEST(Time, FromSecondsFractional) {
+  EXPECT_EQ(from_seconds(0.5), kSecond / 2);
+  EXPECT_EQ(from_seconds(1.5), 3 * kSecond / 2);
+}
+
+TEST(Time, RoundTripSeconds) {
+  const SimTime t = from_seconds(12.345);
+  EXPECT_NEAR(to_seconds(t), 12.345, 1e-9);
+}
+
+TEST(Time, ToMs) {
+  EXPECT_DOUBLE_EQ(to_ms(from_ms(250)), 250.0);
+  EXPECT_DOUBLE_EQ(to_ms(kSecond), 1000.0);
+}
+
+TEST(Time, NeverOrdersAfterEverything) {
+  EXPECT_GT(kNever, from_seconds(1e9));
+}
+
+}  // namespace
+}  // namespace fmtcp

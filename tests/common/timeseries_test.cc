@@ -1,0 +1,52 @@
+#include "common/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace fmtcp {
+namespace {
+
+TEST(BinnedSeries, BinsByTime) {
+  BinnedSeries s(kSecond);
+  s.add(0, 10.0);
+  s.add(kSecond - 1, 5.0);
+  s.add(kSecond, 7.0);
+  ASSERT_EQ(s.bin_count(), 2u);
+  EXPECT_DOUBLE_EQ(s.bin_sum(0), 15.0);
+  EXPECT_DOUBLE_EQ(s.bin_sum(1), 7.0);
+}
+
+TEST(BinnedSeries, RatePerSecond) {
+  BinnedSeries s(2 * kSecond);
+  s.add(kSecond, 10.0);
+  EXPECT_DOUBLE_EQ(s.rate_at(0), 5.0);  // 10 over a 2 s bin.
+}
+
+TEST(BinnedSeries, GrowsOnDemand) {
+  BinnedSeries s(kSecond);
+  s.add(10 * kSecond, 1.0);
+  EXPECT_EQ(s.bin_count(), 11u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(s.bin_sum(i), 0.0);
+  EXPECT_EQ(s.bin_sum(10), 1.0);
+}
+
+TEST(BinnedSeries, BinStart) {
+  BinnedSeries s(500 * kMillisecond);
+  EXPECT_EQ(s.bin_start(0), 0);
+  EXPECT_EQ(s.bin_start(3), 1500 * kMillisecond);
+}
+
+TEST(BinnedSeries, Total) {
+  BinnedSeries s(kSecond);
+  s.add(0, 1.0);
+  s.add(5 * kSecond, 2.5);
+  EXPECT_DOUBLE_EQ(s.total(), 3.5);
+}
+
+TEST(BinnedSeries, EmptyTotalZero) {
+  BinnedSeries s(kSecond);
+  EXPECT_EQ(s.bin_count(), 0u);
+  EXPECT_EQ(s.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace fmtcp

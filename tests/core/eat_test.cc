@@ -1,0 +1,91 @@
+#include "core/eat.h"
+
+#include <gtest/gtest.h>
+
+namespace fmtcp::core {
+namespace {
+
+SubflowSnapshot snap(std::uint64_t window, SimTime edt, SimTime rt,
+                     SimTime tau, double cwnd = 10.0) {
+  SubflowSnapshot s;
+  s.id = 0;
+  s.mss_payload = 1204;
+  s.window_space = window;
+  s.cwnd = cwnd;
+  s.edt = edt;
+  s.rt = rt;
+  s.tau = tau;
+  return s;
+}
+
+TEST(Eat, EqualsEdtWhileWindowOpen) {
+  const SubflowSnapshot s = snap(3, from_ms(100), from_ms(200), 0);
+  EXPECT_EQ(expected_arrival_time(s, 0), from_ms(100));
+  EXPECT_EQ(expected_arrival_time(s, 2), from_ms(100));
+}
+
+TEST(Eat, FirstPacketPastWindowWaitsForAck) {
+  const SubflowSnapshot s = snap(2, from_ms(100), from_ms(200), from_ms(50));
+  // EDT + RT - tau = 100 + 200 - 50 = 250 ms.
+  EXPECT_EQ(expected_arrival_time(s, 2), from_ms(250));
+}
+
+TEST(Eat, ZeroWindowUsesPaperFormula) {
+  const SubflowSnapshot s = snap(0, from_ms(100), from_ms(200), from_ms(80));
+  EXPECT_EQ(expected_arrival_time(s, 0), from_ms(220));
+}
+
+TEST(Eat, FlooredAtEdtWhenAckOverdue) {
+  // tau exceeds RT: the formula would go below EDT; clamp holds.
+  const SubflowSnapshot s = snap(0, from_ms(100), from_ms(200), from_ms(500));
+  EXPECT_EQ(expected_arrival_time(s, 0), from_ms(100));
+}
+
+TEST(Eat, LaterPacketsSpacedByAckClock) {
+  const SubflowSnapshot s =
+      snap(0, from_ms(100), from_ms(200), 0, /*cwnd=*/10.0);
+  const SimTime first = expected_arrival_time(s, 0);
+  const SimTime second = expected_arrival_time(s, 1);
+  // Spacing = RT / cwnd = 20 ms.
+  EXPECT_EQ(second - first, from_ms(20));
+}
+
+TEST(Eat, MonotoneInVirtualAssignment) {
+  const SubflowSnapshot s = snap(2, from_ms(100), from_ms(200), 0, 4.0);
+  SimTime last = 0;
+  for (std::uint64_t q = 0; q < 20; ++q) {
+    const SimTime eat = expected_arrival_time(s, q);
+    EXPECT_GE(eat, last);
+    last = eat;
+  }
+}
+
+TEST(Eat, StrictlyIncreasesPastWindow) {
+  const SubflowSnapshot s = snap(1, from_ms(100), from_ms(200), 0, 2.0);
+  EXPECT_LT(expected_arrival_time(s, 1), expected_arrival_time(s, 5));
+}
+
+TEST(SnapshotSubflow, CapturesLiveState) {
+  sim::Simulator sim;
+  net::LinkConfig link_config;
+  net::Link link(sim, link_config, nullptr);
+  class NullProvider final : public tcp::SegmentProvider {
+    std::optional<tcp::SegmentContent> next_segment(std::uint32_t) override {
+      return std::nullopt;
+    }
+  } provider;
+  tcp::SubflowConfig config;
+  config.id = 3;
+  config.mss_payload = 777;
+  tcp::Subflow subflow(sim, config, link, provider);
+  subflow.set_loss_hint(0.2);
+  const SubflowSnapshot s = snapshot_subflow(subflow);
+  EXPECT_EQ(s.id, 3u);
+  EXPECT_EQ(s.mss_payload, 777u);
+  EXPECT_DOUBLE_EQ(s.loss, 0.2);
+  EXPECT_EQ(s.window_space, subflow.window_space());
+  EXPECT_EQ(s.edt, subflow.expected_edt());
+}
+
+}  // namespace
+}  // namespace fmtcp::core

@@ -1,0 +1,42 @@
+#include "core/params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fmtcp::core {
+namespace {
+
+TEST(FmtcpParams, DerivedSizes) {
+  FmtcpParams params;
+  params.block_symbols = 64;
+  params.symbol_bytes = 160;
+  params.symbol_header_bytes = 12;
+  EXPECT_EQ(params.block_bytes(), 64u * 160u);
+  EXPECT_EQ(params.symbol_wire_bytes(), 172u);
+}
+
+TEST(FmtcpParams, DeltaMargin) {
+  FmtcpParams params;
+  params.delta_hat = 0.5;
+  EXPECT_DOUBLE_EQ(params.delta_margin_symbols(), 1.0);
+  params.delta_hat = 0.01;
+  EXPECT_NEAR(params.delta_margin_symbols(), std::log2(100.0), 1e-12);
+}
+
+TEST(FmtcpParams, SmallerDeltaNeedsMoreMargin) {
+  FmtcpParams strict;
+  strict.delta_hat = 0.001;
+  FmtcpParams loose;
+  loose.delta_hat = 0.1;
+  EXPECT_GT(strict.delta_margin_symbols(), loose.delta_margin_symbols());
+}
+
+TEST(FmtcpParams, DefaultsValidate) {
+  FmtcpParams params;
+  params.validate();  // Must not abort.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fmtcp::core

@@ -1,0 +1,199 @@
+// Byte-stream adapter tests: framing units plus end-to-end transfers of
+// real application bytes over lossy paths.
+#include "core/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/connection.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace fmtcp::core {
+namespace {
+
+// --- Unit level -------------------------------------------------------
+
+TEST(StreamWriter, PayloadCapacityExcludesHeader) {
+  EXPECT_EQ(FmtcpStreamWriter::payload_per_block(16, 64), 16u * 64u - 4u);
+}
+
+TEST(StreamWriter, NoBlockUntilDataBuffered) {
+  FmtcpStreamWriter writer(4, 16);  // Capacity 60.
+  EXPECT_FALSE(writer.has_block(0));
+  writer.write("hi");
+  EXPECT_FALSE(writer.has_block(0));  // Partial, not closed.
+  writer.close();
+  EXPECT_TRUE(writer.has_block(0));
+  EXPECT_FALSE(writer.has_block(1));
+}
+
+TEST(StreamWriter, FullBlockAvailableBeforeClose) {
+  FmtcpStreamWriter writer(4, 16);  // Capacity 60.
+  writer.write(std::string(60, 'x'));
+  EXPECT_TRUE(writer.has_block(0));
+  EXPECT_FALSE(writer.has_block(1));
+  writer.write(std::string(61, 'y'));
+  EXPECT_TRUE(writer.has_block(1));
+  EXPECT_FALSE(writer.has_block(2));  // 1 byte left, not closed.
+}
+
+TEST(StreamRoundTrip, FramingPreservesBytes) {
+  FmtcpStreamWriter writer(4, 16);
+  std::string received;
+  FmtcpStreamReader reader([&](const std::uint8_t* p, std::size_t n) {
+    received.append(reinterpret_cast<const char*>(p), n);
+  });
+
+  const std::string message = "the quick brown fox";
+  writer.write(message);
+  writer.close();
+  ASSERT_TRUE(writer.has_block(0));
+  const fountain::BlockData block = writer.build_block(0, 4, 16);
+  reader.on_block(0, block);
+
+  EXPECT_EQ(received, message);
+  EXPECT_TRUE(reader.framing_ok());
+  EXPECT_EQ(reader.bytes_received(), message.size());
+}
+
+TEST(StreamRoundTrip, MultiBlockSplit) {
+  FmtcpStreamWriter writer(4, 16);  // Capacity 60 per block.
+  FmtcpStreamReader reader;
+  reader.set_store(true);
+
+  std::string message;
+  for (int i = 0; i < 150; ++i) message.push_back(static_cast<char>(i));
+  writer.write(message);
+  writer.close();
+
+  for (net::BlockId id = 0; writer.has_block(id); ++id) {
+    reader.on_block(id, writer.build_block(id, 4, 16));
+  }
+  ASSERT_EQ(reader.blocks_received(), 3u);  // 60 + 60 + 30.
+  ASSERT_EQ(reader.stored().size(), message.size());
+  EXPECT_TRUE(std::equal(message.begin(), message.end(),
+                         reader.stored().begin(),
+                         [](char c, std::uint8_t b) {
+                           return static_cast<std::uint8_t>(c) == b;
+                         }));
+}
+
+TEST(StreamWriter, FlushCommitsPartialBlock) {
+  FmtcpStreamWriter writer(4, 16);  // Capacity 60.
+  writer.write("low latency");
+  EXPECT_FALSE(writer.has_block(0));
+  writer.flush();
+  EXPECT_TRUE(writer.has_block(0));
+  EXPECT_FALSE(writer.closed());
+  // More data after a flush goes into the next block.
+  writer.write("more");
+  writer.flush();
+  EXPECT_TRUE(writer.has_block(1));
+
+  FmtcpStreamReader reader;
+  reader.set_store(true);
+  reader.on_block(0, writer.build_block(0, 4, 16));
+  reader.on_block(1, writer.build_block(1, 4, 16));
+  const std::string got(reader.stored().begin(), reader.stored().end());
+  EXPECT_EQ(got, "low latencymore");
+}
+
+TEST(StreamWriter, FlushOnEmptyIsNoOp) {
+  FmtcpStreamWriter writer(4, 16);
+  writer.flush();
+  EXPECT_FALSE(writer.has_block(0));
+}
+
+TEST(StreamReader, DetectsCorruptFrame) {
+  FmtcpStreamReader reader;
+  fountain::BlockData block(4, 16);
+  block.bytes()[0] = 0xff;  // Length 255 > capacity 60.
+  block.bytes()[1] = 0x00;
+  reader.on_block(0, block);
+  EXPECT_FALSE(reader.framing_ok());
+}
+
+// --- End to end over the simulated network ---------------------------
+
+struct StreamRun {
+  sim::Simulator sim{9};
+  net::Topology topology;
+  FmtcpStreamWriter writer;
+  std::string received;
+  FmtcpStreamReader reader;
+  FmtcpConnection connection;
+
+  static net::PathConfig path(double delay_ms, double loss) {
+    net::PathConfig config;
+    config.one_way_delay = from_seconds(delay_ms / 1e3);
+    config.loss_rate = loss;
+    config.bandwidth_Bps = 0.625e6;
+    return config;
+  }
+
+  static FmtcpConnectionConfig make_config(FmtcpStreamWriter* writer,
+                                           FmtcpStreamReader* reader) {
+    FmtcpConnectionConfig config;
+    config.params.block_symbols = 16;
+    config.params.symbol_bytes = 64;
+    config.subflow.mss_payload =
+        8 * config.params.symbol_wire_bytes();
+    config.subflow.rtt.max_rto = 4 * kSecond;
+    config.source = writer;
+    config.block_sink = reader;
+    return config;
+  }
+
+  explicit StreamRun(double loss2)
+      : topology(sim, {path(100.0, 0.0), path(100.0, loss2)}),
+        writer(16, 64),
+        reader([this](const std::uint8_t* p, std::size_t n) {
+          received.append(reinterpret_cast<const char*>(p), n);
+        }),
+        connection(sim, topology, make_config(&writer, &reader)) {
+    writer.attach(&connection.sender());
+    connection.start();
+  }
+};
+
+TEST(StreamEndToEnd, ExactBytesOverLossyPaths) {
+  StreamRun run(0.15);
+  std::string message;
+  for (int i = 0; i < 20000; ++i) {
+    message.push_back(static_cast<char>('a' + i % 26));
+  }
+  run.writer.write(message);
+  run.writer.close();
+  run.sim.run_until(60 * kSecond);
+  EXPECT_EQ(run.received, message);
+}
+
+TEST(StreamEndToEnd, IncrementalWritesFlow) {
+  StreamRun run(0.05);
+  std::string expected;
+  // The application trickles data in while the connection runs.
+  for (int burst = 0; burst < 10; ++burst) {
+    run.sim.schedule_at(burst * kSecond, [&run, &expected, burst] {
+      const std::string chunk(997, static_cast<char>('A' + burst));
+      expected += chunk;
+      run.writer.write(chunk);
+    });
+  }
+  run.sim.schedule_at(10 * kSecond, [&run] { run.writer.close(); });
+  run.sim.run_until(60 * kSecond);
+  EXPECT_EQ(run.received.size(), 9970u);
+  EXPECT_EQ(run.received, expected);
+}
+
+TEST(StreamEndToEnd, EmptyCloseDeliversNothing) {
+  StreamRun run(0.0);
+  run.writer.close();
+  run.sim.run_until(10 * kSecond);
+  EXPECT_TRUE(run.received.empty());
+  EXPECT_TRUE(run.reader.framing_ok());
+}
+
+}  // namespace
+}  // namespace fmtcp::core

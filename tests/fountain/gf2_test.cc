@@ -1,0 +1,99 @@
+#include "fountain/gf2.h"
+
+#include <gtest/gtest.h>
+
+namespace fmtcp::fountain {
+namespace {
+
+TEST(BitVector, StartsZero) {
+  BitVector v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_FALSE(v.any());
+  EXPECT_EQ(v.popcount(), 0u);
+  EXPECT_EQ(v.lowest_set_bit(), 100u);
+}
+
+TEST(BitVector, SetAndGet) {
+  BitVector v(70);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(69, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(69));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.set(63, false);
+  EXPECT_FALSE(v.get(63));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVector, LowestSetBit) {
+  BitVector v(128);
+  v.set(100, true);
+  EXPECT_EQ(v.lowest_set_bit(), 100u);
+  v.set(5, true);
+  EXPECT_EQ(v.lowest_set_bit(), 5u);
+}
+
+TEST(BitVector, XorWith) {
+  BitVector a(10);
+  BitVector b(10);
+  a.set(1, true);
+  a.set(3, true);
+  b.set(3, true);
+  b.set(7, true);
+  a.xor_with(b);
+  EXPECT_TRUE(a.get(1));
+  EXPECT_FALSE(a.get(3));
+  EXPECT_TRUE(a.get(7));
+  EXPECT_EQ(a.popcount(), 2u);
+}
+
+TEST(BitVector, XorSelfIsZero) {
+  Rng rng(5);
+  BitVector v = BitVector::random(200, rng);
+  BitVector w = v;
+  v.xor_with(w);
+  EXPECT_FALSE(v.any());
+}
+
+TEST(BitVector, Equality) {
+  BitVector a(16);
+  BitVector b(16);
+  EXPECT_TRUE(a == b);
+  a.set(4, true);
+  EXPECT_FALSE(a == b);
+  b.set(4, true);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(BitVector, RandomRespectsPadding) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    BitVector v = BitVector::random(67, rng);
+    // Popcount must only count the declared 67 bits.
+    EXPECT_LE(v.popcount(), 67u);
+    EXPECT_TRUE(v.lowest_set_bit() <= 67u);
+  }
+}
+
+TEST(BitVector, RandomIsDense) {
+  Rng rng(11);
+  BitVector v = BitVector::random(1024, rng);
+  // A fair random vector has ~512 set bits.
+  EXPECT_GT(v.popcount(), 400u);
+  EXPECT_LT(v.popcount(), 624u);
+}
+
+TEST(XorBytes, ElementWise) {
+  std::vector<std::uint8_t> a{0x0f, 0xf0, 0xaa};
+  std::vector<std::uint8_t> b{0xff, 0xff, 0xaa};
+  xor_bytes(a, b);
+  EXPECT_EQ(a, (std::vector<std::uint8_t>{0xf0, 0x0f, 0x00}));
+}
+
+}  // namespace
+}  // namespace fmtcp::fountain

@@ -1,0 +1,89 @@
+#include "fountain/lt_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fmtcp::fountain {
+namespace {
+
+RobustSoliton test_dist(std::uint32_t k) {
+  return RobustSoliton(k, 0.1, 0.05);
+}
+
+TEST(LtNeighbors, DeterministicFromSeed) {
+  const RobustSoliton dist = test_dist(32);
+  EXPECT_EQ(lt_neighbors_from_seed(99, dist),
+            lt_neighbors_from_seed(99, dist));
+}
+
+TEST(LtNeighbors, DistinctIndicesInRange) {
+  const RobustSoliton dist = test_dist(32);
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    const auto neighbors = lt_neighbors_from_seed(seed, dist);
+    EXPECT_GE(neighbors.size(), 1u);
+    std::set<std::uint32_t> unique(neighbors.begin(), neighbors.end());
+    EXPECT_EQ(unique.size(), neighbors.size());
+    for (std::uint32_t idx : neighbors) EXPECT_LT(idx, 32u);
+  }
+}
+
+TEST(LtCodec, RoundTrip) {
+  const std::uint32_t k = 64;
+  const BlockData original = make_deterministic_block(1, k, 16);
+  Rng rng(5);
+  LtEncoder encoder(1, original, test_dist(k), rng);
+  LtDecoder decoder(k, 16, test_dist(k));
+  int sent = 0;
+  while (!decoder.complete() && sent < 10 * static_cast<int>(k)) {
+    decoder.add_symbol(encoder.next_symbol());
+    ++sent;
+  }
+  ASSERT_TRUE(decoder.complete());
+  EXPECT_EQ(decoder.decode().bytes(), original.bytes());
+}
+
+TEST(LtCodec, RecoveredMonotone) {
+  const std::uint32_t k = 32;
+  const BlockData original = make_deterministic_block(2, k, 8);
+  Rng rng(7);
+  LtEncoder encoder(2, original, test_dist(k), rng);
+  LtDecoder decoder(k, 8, test_dist(k));
+  std::uint32_t last = 0;
+  for (int i = 0; i < 500 && !decoder.complete(); ++i) {
+    decoder.add_symbol(encoder.next_symbol());
+    EXPECT_GE(decoder.recovered(), last);
+    last = decoder.recovered();
+  }
+  EXPECT_TRUE(decoder.complete());
+}
+
+TEST(LtCodec, OverheadReasonable) {
+  // LT with robust soliton should decode within a modest overhead.
+  const std::uint32_t k = 128;
+  Rng seed_rng(11);
+  double total = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    const BlockData original = make_deterministic_block(t, k, 4);
+    LtEncoder encoder(t, original, test_dist(k), seed_rng.fork());
+    LtDecoder decoder(k, 4, test_dist(k));
+    while (!decoder.complete()) decoder.add_symbol(encoder.next_symbol());
+    total += static_cast<double>(decoder.received_count());
+  }
+  const double mean_overhead_factor = total / trials / k;
+  EXPECT_LT(mean_overhead_factor, 2.0);
+}
+
+TEST(LtCodec, SingleSymbolBlock) {
+  const BlockData original = make_deterministic_block(3, 1, 12);
+  Rng rng(13);
+  LtEncoder encoder(3, original, test_dist(1), rng);
+  LtDecoder decoder(1, 12, test_dist(1));
+  decoder.add_symbol(encoder.next_symbol());
+  ASSERT_TRUE(decoder.complete());
+  EXPECT_EQ(decoder.decode().bytes(), original.bytes());
+}
+
+}  // namespace
+}  // namespace fmtcp::fountain

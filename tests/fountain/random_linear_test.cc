@@ -1,0 +1,93 @@
+#include "fountain/random_linear.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fmtcp::fountain {
+namespace {
+
+TEST(Coefficients, DeterministicFromSeed) {
+  const BitVector a = coefficients_from_seed(42, 64);
+  const BitVector b = coefficients_from_seed(42, 64);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Coefficients, DifferentSeedsDiffer) {
+  const BitVector a = coefficients_from_seed(1, 64);
+  const BitVector b = coefficients_from_seed(2, 64);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Coefficients, NeverAllZero) {
+  for (std::uint64_t seed = 0; seed < 2000; ++seed) {
+    EXPECT_TRUE(coefficients_from_seed(seed, 4).any());
+  }
+}
+
+TEST(Encode, XorOfSelectedSymbols) {
+  BlockData block(3, 2);
+  block.symbol(0)[0] = 0x01;
+  block.symbol(0)[1] = 0x10;
+  block.symbol(1)[0] = 0x02;
+  block.symbol(1)[1] = 0x20;
+  block.symbol(2)[0] = 0x04;
+  block.symbol(2)[1] = 0x40;
+
+  BitVector coeffs(3);
+  coeffs.set(0, true);
+  coeffs.set(2, true);
+  const auto encoded = encode_with_coefficients(block, coeffs);
+  EXPECT_EQ(encoded, (std::vector<std::uint8_t>{0x05, 0x50}));
+}
+
+TEST(Encode, SingleCoefficientCopiesSymbol) {
+  const BlockData block = make_deterministic_block(3, 4, 8);
+  BitVector coeffs(4);
+  coeffs.set(2, true);
+  EXPECT_EQ(encode_with_coefficients(block, coeffs), block.symbol_copy(2));
+}
+
+TEST(FailureProbability, PaperEquationTwo) {
+  EXPECT_EQ(decode_failure_probability(64, 0), 1.0);
+  EXPECT_EQ(decode_failure_probability(64, 63), 1.0);
+  EXPECT_EQ(decode_failure_probability(64, 64), 1.0);  // 2^0.
+  EXPECT_DOUBLE_EQ(decode_failure_probability(64, 65), 0.5);
+  EXPECT_DOUBLE_EQ(decode_failure_probability(64, 70), 1.0 / 64.0);
+  EXPECT_DOUBLE_EQ(decode_failure_probability(64, 68.5),
+                   std::exp2(-4.5));
+}
+
+TEST(Encoder, PayloadModeEncodesBytes) {
+  Rng rng(5);
+  RandomLinearEncoder encoder(9, make_deterministic_block(9, 8, 16), rng);
+  const net::EncodedSymbol symbol = encoder.next_symbol();
+  EXPECT_EQ(symbol.block, 9u);
+  EXPECT_EQ(symbol.block_symbols, 8u);
+  EXPECT_EQ(symbol.data.size(), 16u);
+  // Re-encode with the regenerated coefficients: must match.
+  const BitVector coeffs = coefficients_from_seed(symbol.coeff_seed, 8);
+  EXPECT_EQ(symbol.data,
+            encode_with_coefficients(make_deterministic_block(9, 8, 16),
+                                     coeffs));
+}
+
+TEST(Encoder, RankOnlyModeOmitsData) {
+  Rng rng(5);
+  RandomLinearEncoder encoder(1, 8, 16, rng);
+  const net::EncodedSymbol symbol = encoder.next_symbol();
+  EXPECT_TRUE(symbol.data.empty());
+  EXPECT_EQ(symbol.block_symbols, 8u);
+}
+
+TEST(Encoder, SymbolsUseFreshSeeds) {
+  Rng rng(5);
+  RandomLinearEncoder encoder(1, 8, 16, rng);
+  const auto a = encoder.next_symbol();
+  const auto b = encoder.next_symbol();
+  EXPECT_NE(a.coeff_seed, b.coeff_seed);
+  EXPECT_EQ(encoder.generated_count(), 2u);
+}
+
+}  // namespace
+}  // namespace fmtcp::fountain

@@ -1,0 +1,87 @@
+#include "fountain/soliton.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fmtcp::fountain {
+namespace {
+
+TEST(IdealSoliton, PmfMatchesDefinition) {
+  IdealSoliton dist(10);
+  EXPECT_DOUBLE_EQ(dist.pmf(1), 0.1);
+  EXPECT_DOUBLE_EQ(dist.pmf(2), 0.5);
+  EXPECT_DOUBLE_EQ(dist.pmf(3), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(dist.pmf(10), 1.0 / 90.0);
+  EXPECT_EQ(dist.pmf(0), 0.0);
+  EXPECT_EQ(dist.pmf(11), 0.0);
+}
+
+TEST(IdealSoliton, PmfSumsToOne) {
+  IdealSoliton dist(50);
+  double total = 0.0;
+  for (std::uint32_t d = 1; d <= 50; ++d) total += dist.pmf(d);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(IdealSoliton, SamplesInRange) {
+  IdealSoliton dist(20);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint32_t d = dist.sample(rng);
+    EXPECT_GE(d, 1u);
+    EXPECT_LE(d, 20u);
+  }
+}
+
+TEST(IdealSoliton, EmpiricalMatchesPmf) {
+  IdealSoliton dist(10);
+  Rng rng(7);
+  std::vector<int> counts(11, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[dist.sample(rng)];
+  for (std::uint32_t d = 1; d <= 10; ++d) {
+    EXPECT_NEAR(static_cast<double>(counts[d]) / n, dist.pmf(d), 0.01)
+        << "degree " << d;
+  }
+}
+
+TEST(RobustSoliton, PmfSumsToOne) {
+  RobustSoliton dist(100, 0.1, 0.05);
+  double total = 0.0;
+  for (std::uint32_t d = 1; d <= 100; ++d) total += dist.pmf(d);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(RobustSoliton, BoostsLowDegrees) {
+  // The robust distribution adds mass at degree 1 relative to ideal.
+  const std::uint32_t k = 100;
+  IdealSoliton ideal(k);
+  RobustSoliton robust(k, 0.1, 0.05);
+  EXPECT_GT(robust.pmf(1), ideal.pmf(1));
+}
+
+TEST(RobustSoliton, SamplesInRange) {
+  RobustSoliton dist(64, 0.05, 0.1);
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint32_t d = dist.sample(rng);
+    EXPECT_GE(d, 1u);
+    EXPECT_LE(d, 64u);
+  }
+}
+
+TEST(RobustSoliton, SpikePositive) {
+  RobustSoliton dist(100, 0.1, 0.05);
+  EXPECT_GT(dist.spike(), 0.0);
+}
+
+TEST(IdealSoliton, DegenerateKOne) {
+  IdealSoliton dist(1);
+  EXPECT_DOUBLE_EQ(dist.pmf(1), 1.0);
+  Rng rng(1);
+  EXPECT_EQ(dist.sample(rng), 1u);
+}
+
+}  // namespace
+}  // namespace fmtcp::fountain

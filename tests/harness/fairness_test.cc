@@ -1,0 +1,65 @@
+#include "harness/fairness.h"
+
+#include <gtest/gtest.h>
+
+namespace fmtcp::harness {
+namespace {
+
+FairnessConfig base_config() {
+  FairnessConfig config;
+  config.duration = 60 * kSecond;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Fairness, TcpVsTcpSplitsEvenly) {
+  FairnessConfig config = base_config();
+  config.protocol_a = Protocol::kMptcp;
+  config.protocol_b = Protocol::kMptcp;
+  const FairnessResult r = run_fairness(config);
+  EXPECT_GT(r.goodput_a_MBps, 0.05);
+  EXPECT_GT(r.goodput_b_MBps, 0.05);
+  // Lossless drop-tail sharing shows mild phase effects; 0.90 still
+  // means neither flow is starved.
+  EXPECT_GT(r.jain_index(), 0.90);
+}
+
+TEST(Fairness, FmtcpIsTcpFriendly) {
+  // The paper's §II claim: coding must not harm fairness. FMTCP runs the
+  // same Reno per subflow, so it must not starve a competing TCP flow.
+  FairnessConfig config = base_config();
+  const FairnessResult r = run_fairness(config);
+  EXPECT_GT(r.goodput_a_MBps, 0.05);
+  EXPECT_GT(r.goodput_b_MBps, 0.05);
+  EXPECT_GT(r.jain_index(), 0.90);
+  EXPECT_LT(r.share_a(), 0.65);
+  EXPECT_GT(r.share_a(), 0.35);
+}
+
+TEST(Fairness, SymmetricFmtcpSplitsEvenly) {
+  FairnessConfig config = base_config();
+  config.protocol_b = Protocol::kFmtcp;
+  const FairnessResult r = run_fairness(config);
+  EXPECT_GT(r.jain_index(), 0.95);
+}
+
+TEST(Fairness, BothSurviveRandomLoss) {
+  FairnessConfig config = base_config();
+  config.loss_rate = 0.03;
+  const FairnessResult r = run_fairness(config);
+  EXPECT_GT(r.goodput_a_MBps, 0.01);
+  EXPECT_GT(r.goodput_b_MBps, 0.01);
+}
+
+TEST(Fairness, JainIndexMath) {
+  FairnessResult r;
+  r.goodput_a_MBps = 1.0;
+  r.goodput_b_MBps = 1.0;
+  EXPECT_DOUBLE_EQ(r.jain_index(), 1.0);
+  r.goodput_b_MBps = 0.0;
+  EXPECT_DOUBLE_EQ(r.jain_index(), 0.5);
+  EXPECT_DOUBLE_EQ(r.share_a(), 1.0);
+}
+
+}  // namespace
+}  // namespace fmtcp::harness

@@ -1,0 +1,84 @@
+#include "harness/sweep.h"
+
+#include <gtest/gtest.h>
+
+namespace fmtcp::harness {
+namespace {
+
+Scenario short_scenario() {
+  Scenario scenario;
+  scenario.duration = 5 * kSecond;
+  scenario.path2 = {100.0, 0.05};
+  return scenario;
+}
+
+TEST(Sweep, ParallelMatchesSerial) {
+  std::vector<SweepJob> jobs;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SweepJob job;
+    job.scenario = short_scenario();
+    job.scenario.seed = seed;
+    jobs.push_back(job);
+  }
+  const std::vector<RunResult> parallel = run_parallel(jobs, 4);
+  ASSERT_EQ(parallel.size(), 6u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const RunResult serial = run_scenario(
+        jobs[i].protocol, jobs[i].scenario, jobs[i].options);
+    EXPECT_EQ(parallel[i].delivered_bytes, serial.delivered_bytes)
+        << "seed " << jobs[i].scenario.seed;
+    EXPECT_EQ(parallel[i].blocks_completed, serial.blocks_completed);
+  }
+}
+
+TEST(Sweep, ResultsInJobOrder) {
+  std::vector<SweepJob> jobs;
+  // Different protocols so results are distinguishable.
+  SweepJob fmtcp_job;
+  fmtcp_job.scenario = short_scenario();
+  SweepJob mptcp_job = fmtcp_job;
+  mptcp_job.protocol = Protocol::kMptcp;
+  jobs = {fmtcp_job, mptcp_job, fmtcp_job};
+  const auto results = run_parallel(jobs, 3);
+  EXPECT_EQ(results[0].protocol, Protocol::kFmtcp);
+  EXPECT_EQ(results[1].protocol, Protocol::kMptcp);
+  EXPECT_EQ(results[2].protocol, Protocol::kFmtcp);
+  EXPECT_EQ(results[0].delivered_bytes, results[2].delivered_bytes);
+}
+
+TEST(Sweep, RunSeedsOverridesSeed) {
+  const auto results =
+      run_seeds(Protocol::kFmtcp, short_scenario(),
+                ProtocolOptions::defaults(), {10, 20, 30}, 3);
+  ASSERT_EQ(results.size(), 3u);
+  // Different seeds should (almost surely) differ in fine-grain counts.
+  EXPECT_FALSE(results[0].block_delays_ms == results[1].block_delays_ms &&
+               results[1].block_delays_ms == results[2].block_delays_ms);
+}
+
+TEST(Sweep, EmptyJobs) {
+  EXPECT_TRUE(run_parallel({}, 4).empty());
+}
+
+TEST(Sweep, AggregateMeanAndStddev) {
+  std::vector<RunResult> results(3);
+  results[0].goodput_MBps = 1.0;
+  results[1].goodput_MBps = 2.0;
+  results[2].goodput_MBps = 3.0;
+  const SeedStats stats = aggregate(
+      results, [](const RunResult& r) { return r.goodput_MBps; });
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 1.0);
+}
+
+TEST(Sweep, AggregateSingleSample) {
+  std::vector<RunResult> results(1);
+  results[0].goodput_MBps = 5.0;
+  const SeedStats stats = aggregate(
+      results, [](const RunResult& r) { return r.goodput_MBps; });
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace fmtcp::harness

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "metrics/block_stats.h"
+#include "metrics/goodput.h"
+
+namespace fmtcp::metrics {
+namespace {
+
+TEST(GoodputMeter, TotalsAndRate) {
+  GoodputMeter meter(kSecond);
+  meter.on_delivered(0, 1000);
+  meter.on_delivered(kSecond / 2, 500);
+  meter.on_delivered(3 * kSecond, 1500);
+  EXPECT_EQ(meter.total_bytes(), 3000u);
+  EXPECT_DOUBLE_EQ(meter.mean_rate(3 * kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(meter.mean_rate_MBps(3 * kSecond), 1e-3);
+  EXPECT_EQ(meter.last_delivery(), 3 * kSecond);
+}
+
+TEST(GoodputMeter, SeriesBins) {
+  GoodputMeter meter(kSecond);
+  meter.on_delivered(0, 100);
+  meter.on_delivered(kSecond + 1, 200);
+  ASSERT_EQ(meter.series().bin_count(), 2u);
+  EXPECT_DOUBLE_EQ(meter.series().rate_at(0), 100.0);
+  EXPECT_DOUBLE_EQ(meter.series().rate_at(1), 200.0);
+}
+
+TEST(GoodputMeter, EmptyMeter) {
+  GoodputMeter meter(kSecond);
+  EXPECT_EQ(meter.total_bytes(), 0u);
+  EXPECT_EQ(meter.mean_rate(kSecond), 0.0);
+}
+
+TEST(BlockDelayRecorder, MeanInMilliseconds) {
+  BlockDelayRecorder rec;
+  rec.record(0, from_ms(100));
+  rec.record(1, from_ms(300));
+  EXPECT_DOUBLE_EQ(rec.mean_delay_ms(), 200.0);
+  EXPECT_EQ(rec.completed_blocks(), 2u);
+}
+
+TEST(BlockDelayRecorder, JitterIsStddev) {
+  BlockDelayRecorder rec;
+  rec.record(0, from_ms(100));
+  rec.record(1, from_ms(100));
+  rec.record(2, from_ms(100));
+  EXPECT_DOUBLE_EQ(rec.jitter_ms(), 0.0);
+  rec.record(3, from_ms(500));
+  EXPECT_GT(rec.jitter_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.jitter_ms(), rec.stddev_delay_ms());
+}
+
+TEST(BlockDelayRecorder, ConsecutiveJitter) {
+  BlockDelayRecorder rec;
+  rec.record(0, from_ms(100));
+  rec.record(1, from_ms(150));
+  rec.record(2, from_ms(100));
+  // |50| + |-50| over 2 gaps.
+  EXPECT_DOUBLE_EQ(rec.consecutive_jitter_ms(), 50.0);
+}
+
+TEST(BlockDelayRecorder, OutOfOrderCompletionSortsByBlock) {
+  BlockDelayRecorder rec;
+  rec.record(2, from_ms(300));
+  rec.record(0, from_ms(100));
+  rec.record(1, from_ms(200));
+  EXPECT_EQ(rec.delays_ms_in_order(),
+            (std::vector<double>{100.0, 200.0, 300.0}));
+}
+
+TEST(BlockDelayRecorder, MaxDelay) {
+  BlockDelayRecorder rec;
+  rec.record(0, from_ms(100));
+  rec.record(1, from_ms(900));
+  rec.record(2, from_ms(400));
+  EXPECT_DOUBLE_EQ(rec.max_delay_ms(), 900.0);
+}
+
+TEST(BlockDelayRecorder, EmptyRecorder) {
+  BlockDelayRecorder rec;
+  EXPECT_EQ(rec.completed_blocks(), 0u);
+  EXPECT_EQ(rec.mean_delay_ms(), 0.0);
+  EXPECT_EQ(rec.jitter_ms(), 0.0);
+  EXPECT_TRUE(rec.delays_ms_in_order().empty());
+}
+
+}  // namespace
+}  // namespace fmtcp::metrics

@@ -1,0 +1,40 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace fmtcp::net {
+namespace {
+
+TEST(Packet, UidsAreUniqueAndMonotonic) {
+  const std::uint64_t a = next_packet_uid();
+  const std::uint64_t b = next_packet_uid();
+  EXPECT_LT(a, b);
+}
+
+TEST(Packet, FinalizeSizeAddsHeader) {
+  Packet p;
+  finalize_size(p, 1000);
+  EXPECT_EQ(p.size_bytes, 1000 + kHeaderBytes);
+  finalize_size(p, 0);
+  EXPECT_EQ(p.size_bytes, kHeaderBytes);
+}
+
+TEST(Packet, DefaultsAreSane) {
+  Packet p;
+  EXPECT_EQ(p.kind, PacketKind::kData);
+  EXPECT_TRUE(p.symbols.empty());
+  EXPECT_TRUE(p.block_acks.empty());
+  EXPECT_EQ(p.data_len, 0u);
+}
+
+TEST(EncodedSymbol, CarriesBlockGeometry) {
+  EncodedSymbol s;
+  s.block = 42;
+  s.block_symbols = 64;
+  s.coeff_seed = 7;
+  EXPECT_EQ(s.block, 42u);
+  EXPECT_TRUE(s.data.empty());  // Rank-only by default.
+}
+
+}  // namespace
+}  // namespace fmtcp::net

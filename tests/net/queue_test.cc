@@ -1,0 +1,71 @@
+#include "net/queue.h"
+
+#include <gtest/gtest.h>
+
+namespace fmtcp::net {
+namespace {
+
+Packet make_packet(std::size_t size) {
+  Packet p;
+  p.size_bytes = size;
+  p.uid = next_packet_uid();
+  return p;
+}
+
+TEST(DropTailQueue, Fifo) {
+  DropTailQueue q(10, 0);
+  Packet a = make_packet(100);
+  Packet b = make_packet(200);
+  const std::uint64_t uid_a = a.uid;
+  const std::uint64_t uid_b = b.uid;
+  EXPECT_TRUE(q.push(std::move(a)));
+  EXPECT_TRUE(q.push(std::move(b)));
+  EXPECT_EQ(q.pop().uid, uid_a);
+  EXPECT_EQ(q.pop().uid, uid_b);
+}
+
+TEST(DropTailQueue, PacketCapacity) {
+  DropTailQueue q(2, 0);
+  EXPECT_TRUE(q.push(make_packet(1)));
+  EXPECT_TRUE(q.push(make_packet(1)));
+  EXPECT_FALSE(q.push(make_packet(1)));
+  EXPECT_EQ(q.drop_count(), 1u);
+  EXPECT_EQ(q.packets(), 2u);
+}
+
+TEST(DropTailQueue, ByteCapacity) {
+  DropTailQueue q(0, 250);
+  EXPECT_TRUE(q.push(make_packet(100)));
+  EXPECT_TRUE(q.push(make_packet(100)));
+  EXPECT_FALSE(q.push(make_packet(100)));
+  EXPECT_EQ(q.bytes(), 200u);
+}
+
+TEST(DropTailQueue, UnlimitedWhenZero) {
+  DropTailQueue q(0, 0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(q.push(make_packet(1000)));
+  EXPECT_EQ(q.packets(), 1000u);
+}
+
+TEST(DropTailQueue, BytesTrackPops) {
+  DropTailQueue q(0, 0);
+  q.push(make_packet(100));
+  q.push(make_packet(50));
+  EXPECT_EQ(q.bytes(), 150u);
+  q.pop();
+  EXPECT_EQ(q.bytes(), 50u);
+  q.pop();
+  EXPECT_EQ(q.bytes(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DropTailQueue, CapacityFreesAfterPop) {
+  DropTailQueue q(1, 0);
+  EXPECT_TRUE(q.push(make_packet(1)));
+  EXPECT_FALSE(q.push(make_packet(1)));
+  q.pop();
+  EXPECT_TRUE(q.push(make_packet(1)));
+}
+
+}  // namespace
+}  // namespace fmtcp::net

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "net/link.h"
+#include "net/queue.h"
+#include "sim/simulator.h"
+
+namespace fmtcp::net {
+namespace {
+
+Packet make_packet(std::size_t size = 100) {
+  Packet p;
+  p.size_bytes = size;
+  p.uid = next_packet_uid();
+  return p;
+}
+
+RedConfig small_red() {
+  RedConfig config;
+  config.min_th_packets = 5;
+  config.max_th_packets = 15;
+  config.limit_packets = 30;
+  config.max_p = 0.1;
+  config.weight = 0.2;  // Fast-moving average for unit tests.
+  return config;
+}
+
+TEST(RedQueue, NoDropsBelowMinThreshold) {
+  RedQueue q(small_red(), Rng(1));
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(make_packet()));
+  EXPECT_EQ(q.drop_count(), 0u);
+  EXPECT_EQ(q.packets(), 5u);
+}
+
+TEST(RedQueue, HardLimitAlwaysDrops) {
+  RedConfig config = small_red();
+  config.limit_packets = 3;
+  RedQueue q(config, Rng(1));
+  int accepted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (q.push(make_packet())) ++accepted;
+  }
+  EXPECT_LE(accepted, 3);
+  EXPECT_GE(q.drop_count(), 17u);
+}
+
+TEST(RedQueue, EarlyDropsBetweenThresholds) {
+  RedQueue q(small_red(), Rng(7));
+  // Fill past min_th without draining: the average climbs and early
+  // drops must appear before the hard limit.
+  int pushed = 0;
+  while (q.packets() < 28 && pushed < 500) {
+    q.push(make_packet());
+    ++pushed;
+  }
+  EXPECT_GT(q.early_drops(), 0u);
+  EXPECT_LT(q.packets(), 30u);
+}
+
+TEST(RedQueue, AverageTracksOccupancy) {
+  RedQueue q(small_red(), Rng(3));
+  for (int i = 0; i < 4; ++i) q.push(make_packet());
+  const double avg_filled = q.average_queue();
+  EXPECT_GT(avg_filled, 0.0);
+  while (!q.empty()) q.pop();
+  // Average only updates on pushes; one push after draining pulls it
+  // toward zero occupancy.
+  q.push(make_packet());
+  EXPECT_LT(q.average_queue(), avg_filled + 1.0);
+}
+
+TEST(RedQueue, FifoOrderPreserved) {
+  RedQueue q(small_red(), Rng(5));
+  Packet a = make_packet();
+  Packet b = make_packet();
+  const std::uint64_t uid_a = a.uid;
+  const std::uint64_t uid_b = b.uid;
+  ASSERT_TRUE(q.push(std::move(a)));
+  ASSERT_TRUE(q.push(std::move(b)));
+  EXPECT_EQ(q.pop().uid, uid_a);
+  EXPECT_EQ(q.pop().uid, uid_b);
+}
+
+TEST(RedQueue, BytesAccounting) {
+  RedQueue q(small_red(), Rng(9));
+  q.push(make_packet(120));
+  q.push(make_packet(80));
+  EXPECT_EQ(q.bytes(), 200u);
+  q.pop();
+  EXPECT_EQ(q.bytes(), 80u);
+}
+
+TEST(RedLink, LinkUsesRedDiscipline) {
+  sim::Simulator sim(1);
+  LinkConfig config;
+  config.bandwidth_Bps = 1000.0;  // Slow: queue builds instantly.
+  config.discipline = QueueDiscipline::kRed;
+  config.red = small_red();
+  Link link(sim, config, nullptr);
+  link.set_sink([](Packet) {});
+  for (int i = 0; i < 200; ++i) link.send(make_packet(100));
+  EXPECT_GT(link.queue_drop_count(), 0u);
+  // The RED hard limit (30) bounds occupancy.
+  EXPECT_LE(link.queue().packets(), 30u);
+}
+
+TEST(RedLink, KeepsQueueShorterThanDropTail) {
+  // Same overload with drop-tail vs RED: RED's early drops keep the
+  // standing queue (and so the queueing delay) smaller.
+  const auto standing_queue = [](QueueDiscipline discipline) {
+    sim::Simulator sim(2);
+    LinkConfig config;
+    config.bandwidth_Bps = 10000.0;
+    config.queue_packets = 30;
+    config.discipline = discipline;
+    config.red = small_red();
+    Link link(sim, config, nullptr);
+    link.set_sink([](Packet) {});
+    // Offered load 2x capacity for 2 seconds.
+    for (int t = 0; t < 200; ++t) {
+      sim.schedule_at(t * from_ms(10), [&link] {
+        link.send(make_packet(100));
+        link.send(make_packet(100));
+      });
+    }
+    sim.run_until(2 * kSecond);
+    return link.queue().packets();
+  };
+  EXPECT_LT(standing_queue(QueueDiscipline::kRed),
+            standing_queue(QueueDiscipline::kDropTail));
+}
+
+}  // namespace
+}  // namespace fmtcp::net

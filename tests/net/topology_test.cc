@@ -1,0 +1,62 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace fmtcp::net {
+namespace {
+
+TEST(Path, BuildsBothDirections) {
+  sim::Simulator sim;
+  PathConfig config;
+  config.one_way_delay = from_ms(30);
+  config.loss_rate = 0.1;
+  Path path(sim, config);
+  EXPECT_EQ(path.base_rtt(), from_ms(60));
+  EXPECT_DOUBLE_EQ(path.forward().loss_rate(), 0.1);
+  EXPECT_DOUBLE_EQ(path.reverse().loss_rate(), 0.0);
+}
+
+TEST(Path, AckLossConfigurable) {
+  sim::Simulator sim;
+  PathConfig config;
+  config.ack_loss_rate = 0.05;
+  Path path(sim, config);
+  EXPECT_DOUBLE_EQ(path.reverse().loss_rate(), 0.05);
+}
+
+TEST(Path, SwapForwardLoss) {
+  sim::Simulator sim;
+  PathConfig config;
+  Path path(sim, config);
+  EXPECT_DOUBLE_EQ(path.forward().loss_rate(), 0.0);
+  path.set_forward_loss(std::make_unique<BernoulliLoss>(0.5));
+  EXPECT_DOUBLE_EQ(path.forward().loss_rate(), 0.5);
+}
+
+TEST(Topology, BuildsRequestedPaths) {
+  sim::Simulator sim;
+  PathConfig a;
+  a.one_way_delay = from_ms(10);
+  PathConfig b;
+  b.one_way_delay = from_ms(99);
+  Topology topo(sim, {a, b});
+  EXPECT_EQ(topo.path_count(), 2u);
+  EXPECT_EQ(topo.path(0).config().one_way_delay, from_ms(10));
+  EXPECT_EQ(topo.path(1).config().one_way_delay, from_ms(99));
+}
+
+TEST(Topology, MakeTwoPathFixesSubflowOne) {
+  sim::Simulator sim;
+  PathConfig path2;
+  path2.one_way_delay = from_ms(25);
+  path2.loss_rate = 0.1;
+  Topology topo = make_two_path(sim, path2);
+  EXPECT_EQ(topo.path_count(), 2u);
+  EXPECT_EQ(topo.path(0).config().one_way_delay, from_ms(100));
+  EXPECT_DOUBLE_EQ(topo.path(0).config().loss_rate, 0.0);
+  EXPECT_EQ(topo.path(1).config().one_way_delay, from_ms(25));
+  EXPECT_DOUBLE_EQ(topo.path(1).config().loss_rate, 0.1);
+}
+
+}  // namespace
+}  // namespace fmtcp::net

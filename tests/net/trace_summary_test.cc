@@ -1,0 +1,95 @@
+#include "net/trace_summary.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "net/link.h"
+#include "net/trace.h"
+#include "sim/simulator.h"
+
+namespace fmtcp::net {
+namespace {
+
+TEST(TraceSummary, ParsesHandWrittenRows) {
+  std::istringstream in(
+      "time_s,event,link,uid,kind,subflow,seq,size_bytes,data_seq,symbols\n"
+      "0.000000001,enqueue,0,1,data,0,0,140,0,7\n"
+      "0.100000000,deliver,0,1,data,0,0,140,0,7\n"
+      "0.200000000,enqueue,0,2,data,0,1,140,0,7\n"
+      "0.250000000,channel_drop,0,2,data,0,1,140,0,7\n"
+      "0.300000000,enqueue,1,3,ack,0,0,48,0,0\n"
+      "0.400000000,deliver,1,3,ack,0,0,48,0,0\n");
+  const TraceSummary summary = summarize_trace(in);
+  EXPECT_EQ(summary.total_rows, 6u);
+  EXPECT_EQ(summary.malformed_rows, 0u);
+  ASSERT_EQ(summary.links.size(), 2u);
+
+  const LinkTraceStats& link0 = summary.links.at(0);
+  EXPECT_EQ(link0.enqueued, 2u);
+  EXPECT_EQ(link0.delivered, 1u);
+  EXPECT_EQ(link0.channel_drops, 1u);
+  EXPECT_EQ(link0.delivered_bytes, 140u);
+  EXPECT_EQ(link0.data_packets, 2u);
+  EXPECT_DOUBLE_EQ(link0.channel_loss_rate(), 0.5);
+
+  const LinkTraceStats& link1 = summary.links.at(1);
+  EXPECT_EQ(link1.ack_packets, 1u);
+  EXPECT_EQ(link1.delivered, 1u);
+}
+
+TEST(TraceSummary, CountsMalformedRows) {
+  std::istringstream in(
+      "time_s,event,link,uid,kind,subflow,seq,size_bytes,data_seq,symbols\n"
+      "garbage line without commas\n"
+      "0.1,not_an_event,0,1,data,0,0,140,0,7\n");
+  const TraceSummary summary = summarize_trace(in);
+  EXPECT_EQ(summary.total_rows, 2u);
+  EXPECT_EQ(summary.malformed_rows, 2u);
+}
+
+TEST(TraceSummary, RoundTripsThroughCsvTracer) {
+  const std::string path = "/tmp/fmtcp_trace_summary_test.csv";
+  {
+    sim::Simulator sim(1);
+    LinkConfig config;
+    config.bandwidth_Bps = 1e9;
+    config.prop_delay = from_ms(10);
+    config.queue_packets = 0;
+    Link link(sim, config, std::make_unique<BernoulliLoss>(0.3));
+    link.set_sink([](Packet) {});
+    CsvTracer tracer(path);
+    link.set_tracer(&tracer, 5);
+    for (int i = 0; i < 500; ++i) {
+      Packet p;
+      p.size_bytes = 100;
+      p.uid = next_packet_uid();
+      link.send(std::move(p));
+    }
+    sim.run();
+  }
+  std::ifstream in(path);
+  const TraceSummary summary = summarize_trace(in);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(summary.links.size(), 1u);
+  const LinkTraceStats& stats = summary.links.at(5);
+  EXPECT_EQ(stats.enqueued, 500u);
+  EXPECT_EQ(stats.delivered + stats.channel_drops, 500u);
+  EXPECT_NEAR(stats.channel_loss_rate(), 0.3, 0.06);
+  EXPECT_EQ(summary.malformed_rows, 0u);
+
+  const std::string rendered = format_trace_summary(summary);
+  EXPECT_NE(rendered.find("rows: 1000"), std::string::npos);
+}
+
+TEST(TraceSummary, EmptyInput) {
+  std::istringstream in("");
+  const TraceSummary summary = summarize_trace(in);
+  EXPECT_EQ(summary.total_rows, 0u);
+  EXPECT_TRUE(summary.links.empty());
+}
+
+}  // namespace
+}  // namespace fmtcp::net

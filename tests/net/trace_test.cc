@@ -1,0 +1,114 @@
+#include "net/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "net/link.h"
+#include "sim/simulator.h"
+
+namespace fmtcp::net {
+namespace {
+
+Packet make_packet(std::size_t size) {
+  Packet p;
+  p.size_bytes = size;
+  p.uid = next_packet_uid();
+  return p;
+}
+
+TEST(CountingTracer, CountsMatchLinkCounters) {
+  sim::Simulator sim(1);
+  LinkConfig config;
+  config.bandwidth_Bps = 1e9;
+  config.prop_delay = 0;
+  config.queue_packets = 0;  // Unlimited: every send must be enqueued.
+  Link link(sim, config, std::make_unique<BernoulliLoss>(0.3));
+  link.set_sink([](Packet) {});
+  CountingTracer tracer;
+  link.set_tracer(&tracer, 7);
+
+  for (int i = 0; i < 1000; ++i) link.send(make_packet(100));
+  sim.run();
+
+  EXPECT_EQ(tracer.count(TraceEvent::kEnqueue), 1000u);
+  EXPECT_EQ(tracer.count(TraceEvent::kChannelDrop),
+            link.channel_drop_count());
+  EXPECT_EQ(tracer.count(TraceEvent::kDeliver), link.delivered_count());
+  EXPECT_EQ(tracer.count(TraceEvent::kDeliver) +
+                tracer.count(TraceEvent::kChannelDrop),
+            1000u);
+}
+
+TEST(CountingTracer, QueueDropsTraced) {
+  sim::Simulator sim(1);
+  LinkConfig config;
+  config.bandwidth_Bps = 1.0;
+  config.queue_packets = 2;
+  Link link(sim, config, nullptr);
+  link.set_sink([](Packet) {});
+  CountingTracer tracer;
+  link.set_tracer(&tracer);
+  for (int i = 0; i < 10; ++i) link.send(make_packet(1));
+  EXPECT_EQ(tracer.count(TraceEvent::kQueueDrop), 7u);
+  EXPECT_EQ(tracer.count(TraceEvent::kEnqueue), 3u);
+}
+
+TEST(CsvTracer, WritesParseableRows) {
+  const std::string path = "/tmp/fmtcp_trace_test.csv";
+  {
+    sim::Simulator sim(1);
+    LinkConfig config;
+    config.prop_delay = from_ms(10);
+    Link link(sim, config, nullptr);
+    link.set_sink([](Packet) {});
+    CsvTracer tracer(path);
+    link.set_tracer(&tracer, 3);
+    Packet p = make_packet(64);
+    p.seq = 42;
+    link.send(std::move(p));
+    sim.run();
+    EXPECT_EQ(tracer.rows_written(), 2u);  // Enqueue + deliver.
+  }
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("time_s,event,link"), std::string::npos);
+  std::string row;
+  std::getline(in, row);
+  EXPECT_NE(row.find("enqueue,3,"), std::string::npos);
+  EXPECT_NE(row.find(",42,"), std::string::npos);
+  std::getline(in, row);
+  EXPECT_NE(row.find("deliver,3,"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceEventName, AllNamed) {
+  EXPECT_STREQ(trace_event_name(TraceEvent::kEnqueue), "enqueue");
+  EXPECT_STREQ(trace_event_name(TraceEvent::kQueueDrop), "queue_drop");
+  EXPECT_STREQ(trace_event_name(TraceEvent::kChannelDrop), "channel_drop");
+  EXPECT_STREQ(trace_event_name(TraceEvent::kDeliver), "deliver");
+}
+
+TEST(Tracer, DetachStopsTracing) {
+  sim::Simulator sim(1);
+  LinkConfig config;
+  config.bandwidth_Bps = 1e9;
+  config.prop_delay = 0;
+  Link link(sim, config, nullptr);
+  link.set_sink([](Packet) {});
+  CountingTracer tracer;
+  link.set_tracer(&tracer);
+  link.send(make_packet(10));
+  sim.run();
+  const std::uint64_t before = tracer.total();
+  link.set_tracer(nullptr);
+  link.send(make_packet(10));
+  sim.run();
+  EXPECT_EQ(tracer.total(), before);
+}
+
+}  // namespace
+}  // namespace fmtcp::net

@@ -1,0 +1,118 @@
+// Checks of the paper's §IV-C theorems against the implementation and
+// across randomly drawn parameters.
+#include <gtest/gtest.h>
+
+#include "analysis/allocation_analysis.h"
+#include "common/rng.h"
+#include "core/allocator.h"
+#include "core/eat.h"
+
+namespace fmtcp {
+namespace {
+
+// --- Theorem 1: EDT_i < EDT_j with window space on i => EAT_i < EAT_j,
+// so a symbol needing resending is never appended to the worse flow. ---
+
+TEST(Theorem1, MinEatFlowHasWindowSpaceAndLowerEdt) {
+  core::SubflowSnapshot fast;
+  fast.id = 0;
+  fast.window_space = 4;
+  fast.edt = from_ms(80);
+  fast.rt = from_ms(160);
+
+  core::SubflowSnapshot slow;
+  slow.id = 1;
+  slow.window_space = 4;
+  slow.edt = from_ms(300);
+  slow.rt = from_ms(600);
+
+  // With window space, EAT == EDT on both; the fast flow wins.
+  EXPECT_LT(core::expected_arrival_time(fast, 0),
+            core::expected_arrival_time(slow, 0));
+}
+
+TEST(Theorem1, RandomizedEatOrdering) {
+  Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    core::SubflowSnapshot a;
+    a.window_space = 1 + rng.next_below(8);
+    a.edt = from_ms(static_cast<std::int64_t>(rng.uniform_int(10, 200)));
+    a.rt = 2 * a.edt;
+    core::SubflowSnapshot b = a;
+    b.edt = a.edt + from_ms(static_cast<std::int64_t>(
+                        rng.uniform_int(1, 300)));
+    b.rt = 2 * b.edt;
+    // Theorem 1's premise: i has window space => EAT_i = EDT_i < EDT_j
+    // <= EAT_j.
+    EXPECT_LT(core::expected_arrival_time(a, 0),
+              core::expected_arrival_time(b, 0));
+  }
+}
+
+// --- Theorem 2: EDT_i < EDT_j => SEDT_i < SEDT_j (with r ≈ R). The
+// closed forms let us check the ordering across random paths. ---
+
+TEST(Theorem2, SedtOrderFollowsEdtOrder) {
+  Rng rng(7);
+  int checked = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double r1 = rng.uniform(0.02, 0.5);
+    const double p1 = rng.uniform(0.0, 0.4);
+    const double r2 = rng.uniform(0.02, 0.5);
+    const double p2 = rng.uniform(0.0, 0.4);
+    const double edt1 = analysis::edt_single(r1, p1);
+    const double edt2 = analysis::edt_single(r2, p2);
+    if (edt1 >= edt2) continue;
+    ++checked;
+    EXPECT_LT(analysis::sedt(r1, r1, p1), analysis::sedt(r2, r2, p2))
+        << "r1=" << r1 << " p1=" << p1 << " r2=" << r2 << " p2=" << p2;
+  }
+  EXPECT_GT(checked, 500);
+}
+
+// --- Theorem 3 / Lemma 1 consistency. ---
+
+TEST(Theorem3, BoundExceedsOneAndScalesWithM) {
+  Rng rng(9);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double p1 = rng.uniform(0.0, 0.3);
+    const double p2 = rng.uniform(0.01, 0.4);
+    const double m = rng.uniform(1.0, 20.0);
+    const double bound = analysis::theorem3_ratio_bound(p1, p2, m);
+    EXPECT_GT(bound, 0.0);
+    // Bound grows linearly in m with slope (1 - p2) < 1: for large m it
+    // must fall below the MPTCP ratio m.
+    const double larger = analysis::theorem3_ratio_bound(p1, p2, m + 1.0);
+    EXPECT_NEAR(larger - bound, 1.0 - p2, 1e-9);
+  }
+}
+
+TEST(Theorem3, AdvantageThresholdSeparatesRegimes) {
+  Rng rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double p1 = rng.uniform(0.0, 0.3);
+    const double p2 = rng.uniform(0.02, 0.4);
+    const double threshold = analysis::fmtcp_advantage_threshold(p1, p2);
+    EXPECT_LT(analysis::theorem3_ratio_bound(p1, p2, threshold * 1.01),
+              threshold * 1.01);
+    EXPECT_GT(analysis::theorem3_ratio_bound(p1, p2, threshold * 0.99),
+              threshold * 0.99);
+  }
+}
+
+TEST(Lemma1, ThresholdGrowsWithPathOneQualityGap) {
+  // The minimum r2 for "lost symbols only append on path 1" always
+  // exceeds r1 and grows as p1 rises (path 1 must be clearly better).
+  Rng rng(13);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double r1 = rng.uniform(0.02, 0.3);
+    const double p2 = rng.uniform(0.0, 0.4);
+    const double lo = analysis::lemma1_min_r2(r1, 0.0, p2);
+    const double hi = analysis::lemma1_min_r2(r1, 0.3, p2);
+    EXPECT_GT(lo, r1);
+    EXPECT_GT(hi, lo);
+  }
+}
+
+}  // namespace
+}  // namespace fmtcp

@@ -1,0 +1,135 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fmtcp::sim {
+namespace {
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, FifoTieBreak) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(10, [&] { order.push_back(2); });
+  s.schedule_at(10, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, NowAdvancesToEventTime) {
+  Scheduler s;
+  SimTime seen = -1;
+  s.schedule_at(42, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(s.now(), 42);
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler s;
+  s.schedule_at(100, [] {});
+  s.run();
+  SimTime seen = -1;
+  s.schedule_in(50, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Scheduler, CancelSkipsEvent) {
+  Scheduler s;
+  bool ran = false;
+  EventHandle h = s.schedule_at(10, [&] { ran = true; });
+  h.cancel();
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.executed_count(), 0u);
+}
+
+TEST(Scheduler, PendingReflectsState) {
+  Scheduler s;
+  EventHandle h = s.schedule_at(10, [] {});
+  EXPECT_TRUE(h.pending());
+  s.run();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Scheduler, CancelledNotPending) {
+  Scheduler s;
+  EventHandle h = s.schedule_at(10, [] {});
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Scheduler, DefaultHandleSafe) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // No crash.
+}
+
+TEST(Scheduler, RunUntilExecutesBoundaryInclusive) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(10, [&] { ++count; });
+  s.schedule_at(20, [&] { ++count; });
+  s.schedule_at(21, [&] { ++count; });
+  s.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 20);
+  EXPECT_EQ(s.queued_count(), 1u);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWithoutEvents) {
+  Scheduler s;
+  s.run_until(500);
+  EXPECT_EQ(s.now(), 500);
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler s;
+  std::vector<SimTime> times;
+  s.schedule_at(10, [&] {
+    times.push_back(s.now());
+    s.schedule_in(5, [&] { times.push_back(s.now()); });
+  });
+  s.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, ZeroDelayEventRunsAtSameTime) {
+  Scheduler s;
+  s.schedule_at(10, [] {});
+  s.run();
+  SimTime seen = -1;
+  s.schedule_in(0, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 10);
+}
+
+TEST(Scheduler, ExecutedCountExcludesCancelled) {
+  Scheduler s;
+  s.schedule_at(1, [] {});
+  EventHandle h = s.schedule_at(2, [] {});
+  s.schedule_at(3, [] {});
+  h.cancel();
+  s.run();
+  EXPECT_EQ(s.executed_count(), 2u);
+}
+
+}  // namespace
+}  // namespace fmtcp::sim

@@ -1,0 +1,59 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace fmtcp::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim(1);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulator, ForkRngDeterministicPerSeed) {
+  Simulator a(42);
+  Simulator b(42);
+  Rng ra = a.fork_rng();
+  Rng rb = b.fork_rng();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ra.next_u64(), rb.next_u64());
+}
+
+TEST(Simulator, ForkRngStreamsAreDistinct) {
+  Simulator sim(42);
+  Rng first = sim.fork_rng();
+  Rng second = sim.fork_rng();
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (first.next_u64() != second.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Simulator, DifferentSeedsDifferentStreams) {
+  Simulator a(1);
+  Simulator b(2);
+  EXPECT_NE(a.fork_rng().next_u64(), b.fork_rng().next_u64());
+}
+
+TEST(Simulator, ScheduleAndRunUntil) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.schedule_in(from_ms(10), [&] { ++fired; });
+  sim.schedule_at(from_ms(30), [&] { ++fired; });
+  sim.run_until(from_ms(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), from_ms(20));
+  sim.run_until(from_ms(40));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepDelegatesToScheduler) {
+  Simulator sim(1);
+  EXPECT_FALSE(sim.step());
+  sim.schedule_in(5, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(sim.scheduler().executed_count(), 1u);
+}
+
+}  // namespace
+}  // namespace fmtcp::sim

@@ -1,0 +1,101 @@
+#include "sim/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace fmtcp::sim {
+namespace {
+
+TEST(Timer, FiresAtExpiry) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.schedule(100);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Timer, CancelPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.schedule(100);
+  t.cancel();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, RescheduleReplacesExpiry) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.schedule(100);
+  t.schedule(200);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 200);
+}
+
+TEST(Timer, PendingAndExpiry) {
+  Simulator sim;
+  Timer t(sim, [] {});
+  EXPECT_FALSE(t.pending());
+  EXPECT_EQ(t.expiry(), kNever);
+  t.schedule(50);
+  EXPECT_TRUE(t.pending());
+  EXPECT_EQ(t.expiry(), 50);
+  sim.run();
+  EXPECT_FALSE(t.pending());
+  EXPECT_EQ(t.expiry(), kNever);
+}
+
+TEST(Timer, DestructionCancels) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Timer t(sim, [&] { ++fired; });
+    t.schedule(100);
+  }
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, ReArmInsideCallback) {
+  Simulator sim;
+  int fired = 0;
+  std::unique_ptr<Timer> t;
+  t = std::make_unique<Timer>(sim, [&] {
+    if (++fired < 3) t->schedule(10);
+  });
+  t->schedule(10);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Timer, ScheduleAtAbsolute) {
+  Simulator sim;
+  SimTime seen = -1;
+  Timer t(sim, [&] { seen = sim.now(); });
+  sim.schedule_at(10, [] {});
+  sim.run();
+  t.schedule_at(300);
+  sim.run();
+  EXPECT_EQ(seen, 300);
+}
+
+TEST(Timer, CancelIdempotent) {
+  Simulator sim;
+  Timer t(sim, [] {});
+  t.cancel();
+  t.schedule(10);
+  t.cancel();
+  t.cancel();
+  sim.run();
+  EXPECT_FALSE(t.pending());
+}
+
+}  // namespace
+}  // namespace fmtcp::sim

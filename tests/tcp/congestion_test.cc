@@ -1,0 +1,149 @@
+#include "tcp/congestion.h"
+
+#include <gtest/gtest.h>
+
+namespace fmtcp::tcp {
+namespace {
+
+TEST(RenoCc, StartsAtInitialWindow) {
+  RenoConfig config;
+  config.initial_cwnd = 3.0;
+  RenoCc cc(config);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 3.0);
+}
+
+TEST(RenoCc, SlowStartDoublesPerWindow) {
+  RenoConfig config;
+  config.initial_cwnd = 2.0;
+  config.initial_ssthresh = 1000.0;
+  RenoCc cc(config);
+  cc.on_ack(2);  // Full window acked.
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 4.0);
+  cc.on_ack(4);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 8.0);
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(RenoCc, CongestionAvoidanceLinear) {
+  RenoConfig config;
+  config.initial_cwnd = 10.0;
+  config.initial_ssthresh = 10.0;
+  RenoCc cc(config);
+  EXPECT_FALSE(cc.in_slow_start());
+  // One full window of ACKs grows cwnd by ~1.
+  cc.on_ack(10);
+  EXPECT_NEAR(cc.cwnd(), 11.0, 0.05);
+}
+
+TEST(RenoCc, FastRetransmitHalves) {
+  RenoConfig config;
+  config.initial_cwnd = 20.0;
+  config.initial_ssthresh = 5.0;
+  RenoCc cc(config);
+  cc.on_fast_retransmit();
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 10.0);
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), 10.0);
+}
+
+TEST(RenoCc, FastRetransmitFloorsAtTwo) {
+  RenoConfig config;
+  config.initial_cwnd = 2.0;
+  RenoCc cc(config);
+  cc.on_fast_retransmit();
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 2.0);
+}
+
+TEST(RenoCc, TimeoutCollapsesToOne) {
+  RenoConfig config;
+  config.initial_cwnd = 16.0;
+  RenoCc cc(config);
+  cc.on_timeout();
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 1.0);
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), 8.0);
+}
+
+TEST(RenoCc, SlowStartAfterTimeoutUntilSsthresh) {
+  RenoConfig config;
+  config.initial_cwnd = 16.0;
+  RenoCc cc(config);
+  cc.on_timeout();
+  EXPECT_TRUE(cc.in_slow_start());
+  cc.on_ack(7);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 8.0);
+  EXPECT_FALSE(cc.in_slow_start());
+}
+
+TEST(RenoCc, MaxWindowCap) {
+  RenoConfig config;
+  config.initial_cwnd = 2.0;
+  config.initial_ssthresh = 1e9;
+  config.max_cwnd = 10.0;
+  RenoCc cc(config);
+  for (int i = 0; i < 10; ++i) cc.on_ack(10);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 10.0);
+}
+
+TEST(LiaGroup, AlphaForSymmetricFlows) {
+  LiaGroup group;
+  RenoConfig config;
+  config.initial_cwnd = 10.0;
+  LiaCc a(group, config);
+  LiaCc b(group, config);
+  a.set_rtt(from_ms(100));
+  b.set_rtt(from_ms(100));
+  // Symmetric: alpha = W * (w/rtt^2) / (2w/rtt)^2 = W/(4w) = 20/40 = 0.5.
+  EXPECT_NEAR(group.alpha(), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(group.total_cwnd(), 20.0);
+}
+
+TEST(LiaCc, CoupledIncreaseAtMostReno) {
+  LiaGroup group;
+  RenoConfig config;
+  config.initial_cwnd = 10.0;
+  config.initial_ssthresh = 1.0;  // Force congestion avoidance.
+  LiaCc a(group, config);
+  LiaCc b(group, config);
+  a.set_rtt(from_ms(100));
+  b.set_rtt(from_ms(200));
+  const double before = a.cwnd();
+  a.on_ack(1);
+  const double lia_gain = a.cwnd() - before;
+  EXPECT_LE(lia_gain, 1.0 / before + 1e-12);
+  EXPECT_GT(lia_gain, 0.0);
+}
+
+TEST(LiaCc, DecreaseMatchesReno) {
+  LiaGroup group;
+  RenoConfig config;
+  config.initial_cwnd = 12.0;
+  LiaCc cc(group, config);
+  cc.on_fast_retransmit();
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 6.0);
+  cc.on_timeout();
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 1.0);
+}
+
+TEST(LiaCc, MemberRemovalOnDestruction) {
+  LiaGroup group;
+  RenoConfig config;
+  config.initial_cwnd = 10.0;
+  LiaCc a(group, config);
+  {
+    LiaCc b(group, config);
+    EXPECT_DOUBLE_EQ(group.total_cwnd(), 20.0);
+  }
+  EXPECT_DOUBLE_EQ(group.total_cwnd(), 10.0);
+}
+
+TEST(LiaCc, SlowStartUncoupled) {
+  LiaGroup group;
+  RenoConfig config;
+  config.initial_cwnd = 2.0;
+  config.initial_ssthresh = 100.0;
+  LiaCc cc(group, config);
+  cc.on_ack(2);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 4.0);
+}
+
+}  // namespace
+}  // namespace fmtcp::tcp

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/link.h"
+#include "sim/simulator.h"
+#include "tcp/congestion.h"
+#include "tcp/subflow.h"
+
+namespace fmtcp::tcp {
+namespace {
+
+struct Clock {
+  SimTime now = 0;
+  std::function<SimTime()> fn() {
+    return [this] { return now; };
+  }
+};
+
+TEST(Cubic, SlowStartLikeReno) {
+  Clock clock;
+  CubicConfig config;
+  config.initial_cwnd = 2.0;
+  config.initial_ssthresh = 100.0;
+  CubicCc cc(clock.fn(), config);
+  cc.on_ack(2);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 4.0);
+}
+
+TEST(Cubic, FastRetransmitAppliesBeta) {
+  Clock clock;
+  CubicConfig config;
+  config.initial_cwnd = 100.0;
+  config.initial_ssthresh = 1.0;
+  CubicCc cc(clock.fn(), config);
+  cc.on_fast_retransmit();
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 70.0);
+  EXPECT_DOUBLE_EQ(cc.w_max(), 100.0);
+}
+
+TEST(Cubic, TimeoutCollapsesToOne) {
+  Clock clock;
+  CubicConfig config;
+  config.initial_cwnd = 50.0;
+  config.initial_ssthresh = 1.0;
+  CubicCc cc(clock.fn(), config);
+  cc.on_timeout();
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 1.0);
+}
+
+TEST(Cubic, GrowsBackTowardWmax) {
+  Clock clock;
+  CubicConfig config;
+  config.initial_cwnd = 100.0;
+  config.initial_ssthresh = 1.0;
+  CubicCc cc(clock.fn(), config);
+  cc.on_fast_retransmit();  // cwnd 70, W_max 100.
+  // Advance time past K and feed ACKs: the window must recross W_max.
+  for (int second = 1; second <= 20; ++second) {
+    clock.now = second * kSecond;
+    cc.on_ack(50);
+  }
+  EXPECT_GT(cc.cwnd(), 100.0);
+}
+
+TEST(Cubic, PlateausNearWmax) {
+  Clock clock;
+  CubicConfig config;
+  config.initial_cwnd = 100.0;
+  config.initial_ssthresh = 1.0;
+  CubicCc cc(clock.fn(), config);
+  cc.on_fast_retransmit();
+  const double k_est = std::cbrt(100.0 * 0.3 / 0.4);
+  // Converge onto the cubic curve just below K...
+  clock.now = from_seconds(0.95 * k_est);
+  cc.on_ack(2000);
+  EXPECT_NEAR(cc.cwnd(), 100.0, 1.0);
+  // ...then crossing K barely moves the window: the plateau.
+  clock.now = from_seconds(1.05 * k_est);
+  const double before = cc.cwnd();
+  cc.on_ack(50);
+  EXPECT_NEAR(cc.cwnd(), before, 1.0);
+}
+
+TEST(Cubic, TracksCubicCurveConcaveThenConvex) {
+  // With ample ACKs at each instant the window tracks
+  // W(t) = C (t-K)^3 + W_max: below W_max before K, above after.
+  Clock clock;
+  CubicConfig config;
+  config.initial_cwnd = 100.0;
+  config.initial_ssthresh = 1.0;
+  CubicCc cc(clock.fn(), config);
+  cc.on_fast_retransmit();  // cwnd 70, W_max 100, K = cbrt(75).
+  const double k_est = std::cbrt(100.0 * 0.3 / 0.4);
+
+  std::vector<double> windows;
+  for (double t : {0.2 * k_est, 0.9 * k_est, 1.5 * k_est, 2.0 * k_est}) {
+    clock.now = from_seconds(t);
+    cc.on_ack(2000);  // Converge to the instantaneous target.
+    windows.push_back(cc.cwnd());
+    const double dt = t - k_est;
+    EXPECT_NEAR(cc.cwnd(), 0.4 * dt * dt * dt + 100.0, 1.5)
+        << "t=" << t;
+  }
+  EXPECT_LT(windows[0], 100.0);
+  EXPECT_LT(windows[0], windows[1]);
+  EXPECT_LT(windows[1], windows[2]);
+  EXPECT_LT(windows[2], windows[3]);
+  EXPECT_GT(windows[3], 100.0);
+}
+
+TEST(Cubic, MaxWindowCap) {
+  Clock clock;
+  CubicConfig config;
+  config.initial_cwnd = 2.0;
+  config.initial_ssthresh = 1e9;
+  config.max_cwnd = 20.0;
+  CubicCc cc(clock.fn(), config);
+  for (int i = 0; i < 10; ++i) cc.on_ack(20);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 20.0);
+}
+
+TEST(Cubic, SubflowIntegration) {
+  // A subflow configured for CUBIC transfers data end to end.
+  sim::Simulator sim(1);
+  net::LinkConfig link_config;
+  link_config.prop_delay = from_ms(50);
+  net::Link forward(sim, link_config, nullptr);
+  net::Link reverse(sim, link_config, nullptr);
+
+  class Provider final : public SegmentProvider {
+   public:
+    std::optional<SegmentContent> next_segment(std::uint32_t) override {
+      if (served_ >= 50) return std::nullopt;
+      SegmentContent content;
+      content.data_seq = served_++;
+      content.payload_bytes = 100;
+      return content;
+    }
+    std::uint64_t served_ = 0;
+  } provider;
+
+  class Sink final : public DataSink {
+   public:
+    void on_segment(std::uint32_t, const net::Packet&) override {
+      ++count_;
+    }
+    int count_ = 0;
+  } sink;
+
+  SubflowConfig config;
+  config.congestion = CongestionAlgo::kCubic;
+  Subflow subflow(sim, config, forward, provider);
+  SubflowReceiver receiver(sim, 0, reverse, sink);
+  forward.set_sink(
+      [&](net::Packet p) { receiver.on_data_packet(std::move(p)); });
+  reverse.set_sink(
+      [&](net::Packet p) { subflow.on_ack_packet(std::move(p)); });
+  subflow.notify_send_opportunity();
+  sim.run_until(30 * kSecond);
+  EXPECT_EQ(sink.count_, 50);
+}
+
+}  // namespace
+}  // namespace fmtcp::tcp

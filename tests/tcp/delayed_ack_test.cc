@@ -1,0 +1,142 @@
+// Delayed-ACK extension tests.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "net/link.h"
+#include "sim/simulator.h"
+#include "tcp/subflow.h"
+
+namespace fmtcp::tcp {
+namespace {
+
+class NullSink final : public DataSink {
+ public:
+  void on_segment(std::uint32_t, const net::Packet&) override {}
+};
+
+net::Packet data_packet(std::uint64_t seq) {
+  net::Packet p;
+  p.kind = net::PacketKind::kData;
+  p.subflow = 0;
+  p.seq = seq;
+  p.size_bytes = 100;
+  return p;
+}
+
+struct Fixture {
+  sim::Simulator sim{1};
+  net::Link ack_link;
+  NullSink sink;
+  SubflowReceiver receiver;
+  std::vector<net::Packet> acks;
+
+  static net::LinkConfig instant_link() {
+    net::LinkConfig config;
+    config.bandwidth_Bps = 1e9;
+    config.prop_delay = 0;
+    config.queue_packets = 0;
+    return config;
+  }
+
+  explicit Fixture(SubflowReceiverConfig config)
+      : ack_link(sim, instant_link(), nullptr),
+        receiver(sim, 0, ack_link, sink, config) {
+    ack_link.set_sink([this](net::Packet p) { acks.push_back(std::move(p)); });
+  }
+};
+
+SubflowReceiverConfig delayed() {
+  SubflowReceiverConfig config;
+  config.delayed_acks = true;
+  return config;
+}
+
+TEST(DelayedAck, DefaultAcksEveryPacket) {
+  Fixture f(SubflowReceiverConfig{});
+  for (std::uint64_t seq = 0; seq < 6; ++seq) {
+    f.receiver.on_data_packet(data_packet(seq));
+  }
+  f.sim.run();
+  EXPECT_EQ(f.acks.size(), 6u);
+}
+
+TEST(DelayedAck, AcksEverySecondInOrderPacket) {
+  Fixture f(delayed());
+  for (std::uint64_t seq = 0; seq < 6; ++seq) {
+    f.receiver.on_data_packet(data_packet(seq));
+  }
+  f.sim.run_until(from_ms(1));
+  EXPECT_EQ(f.acks.size(), 3u);
+  EXPECT_EQ(f.acks.back().ack_next, 6u);
+}
+
+TEST(DelayedAck, TimerFlushesPendingAck) {
+  Fixture f(delayed());
+  f.receiver.on_data_packet(data_packet(0));  // Held (first of pair).
+  f.sim.run_until(from_ms(10));
+  EXPECT_EQ(f.acks.size(), 0u);
+  f.sim.run_until(from_ms(100));  // 40 ms delack timer fires.
+  ASSERT_EQ(f.acks.size(), 1u);
+  EXPECT_EQ(f.acks[0].ack_next, 1u);
+}
+
+TEST(DelayedAck, OutOfOrderAckedImmediately) {
+  Fixture f(delayed());
+  f.receiver.on_data_packet(data_packet(2));  // Hole at 0,1.
+  f.sim.run_until(from_ms(1));
+  ASSERT_EQ(f.acks.size(), 1u);  // Immediate dup-ack.
+  EXPECT_EQ(f.acks[0].ack_next, 0u);
+}
+
+TEST(DelayedAck, HoleFillAckedImmediately) {
+  Fixture f(delayed());
+  f.receiver.on_data_packet(data_packet(1));  // OOO: immediate.
+  f.receiver.on_data_packet(data_packet(0));  // Fills hole: immediate.
+  f.sim.run_until(from_ms(1));
+  ASSERT_EQ(f.acks.size(), 2u);
+  EXPECT_EQ(f.acks.back().ack_next, 2u);
+}
+
+TEST(DelayedAck, ReducesAckTrafficEndToEnd) {
+  // A full transfer with delayed ACKs sends roughly half the ACKs.
+  const auto acks_for = [](bool delayed_mode) {
+    sim::Simulator sim(5);
+    net::LinkConfig link_config;
+    link_config.prop_delay = from_ms(50);
+    net::Link forward(sim, link_config, nullptr);
+    net::Link reverse(sim, link_config, nullptr);
+    class Provider final : public SegmentProvider {
+     public:
+      std::optional<SegmentContent> next_segment(std::uint32_t) override {
+        if (served_ >= 60) return std::nullopt;
+        SegmentContent content;
+        content.data_seq = served_++;
+        content.payload_bytes = 100;
+        return content;
+      }
+      std::uint64_t served_ = 0;
+    } provider;
+    NullSink sink;
+    SubflowConfig config;
+    SubflowReceiverConfig receiver_config;
+    receiver_config.delayed_acks = delayed_mode;
+    Subflow subflow(sim, config, forward, provider);
+    SubflowReceiver receiver(sim, 0, reverse, sink, receiver_config);
+    forward.set_sink(
+        [&](net::Packet p) { receiver.on_data_packet(std::move(p)); });
+    reverse.set_sink(
+        [&](net::Packet p) { subflow.on_ack_packet(std::move(p)); });
+    subflow.notify_send_opportunity();
+    sim.run_until(60 * kSecond);
+    EXPECT_EQ(receiver.rcv_next(), 60u);
+    return receiver.acks_sent();
+  };
+  const std::uint64_t with = acks_for(true);
+  const std::uint64_t without = acks_for(false);
+  EXPECT_LT(with, without * 3 / 4);
+}
+
+}  // namespace
+}  // namespace fmtcp::tcp

@@ -1,0 +1,96 @@
+#include "tcp/rtt_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace fmtcp::tcp {
+namespace {
+
+TEST(RttEstimator, InitialRtoBeforeSamples) {
+  RttEstimator est;
+  EXPECT_FALSE(est.has_sample());
+  EXPECT_EQ(est.rto(), kSecond);
+  EXPECT_EQ(est.srtt(), 0);
+}
+
+TEST(RttEstimator, FirstSampleInitialisesPerRfc) {
+  RttEstimator est;
+  est.add_sample(from_ms(100));
+  EXPECT_EQ(est.srtt(), from_ms(100));
+  EXPECT_EQ(est.rttvar(), from_ms(50));
+  // RTO = SRTT + 4*RTTVAR = 100 + 200 = 300 ms.
+  EXPECT_EQ(est.rto(), from_ms(300));
+}
+
+TEST(RttEstimator, SmoothingFormulas) {
+  RttEstimator est;
+  est.add_sample(from_ms(100));
+  est.add_sample(from_ms(200));
+  // RTTVAR = 3/4*50 + 1/4*|100-200| = 62.5 ms; SRTT = 7/8*100 + 1/8*200.
+  EXPECT_EQ(est.rttvar(), from_us(62500));
+  EXPECT_EQ(est.srtt(), from_us(112500));
+}
+
+TEST(RttEstimator, ConstantRttShrinksVariance) {
+  RttEstimator est;
+  for (int i = 0; i < 50; ++i) est.add_sample(from_ms(100));
+  EXPECT_EQ(est.srtt(), from_ms(100));
+  EXPECT_LT(est.rttvar(), from_ms(2));
+}
+
+TEST(RttEstimator, MinRtoClamp) {
+  RttConfig config;
+  config.min_rto = from_ms(200);
+  RttEstimator est(config);
+  for (int i = 0; i < 50; ++i) est.add_sample(from_ms(10));
+  EXPECT_EQ(est.rto(), from_ms(200));
+}
+
+TEST(RttEstimator, MaxRtoClamp) {
+  RttConfig config;
+  config.max_rto = 2 * kSecond;
+  RttEstimator est(config);
+  est.add_sample(10 * kSecond);
+  EXPECT_EQ(est.rto(), 2 * kSecond);
+}
+
+TEST(RttEstimator, BackoffDoubles) {
+  RttEstimator est;
+  est.add_sample(from_ms(100));
+  const SimTime base = est.rto();
+  est.backoff();
+  EXPECT_EQ(est.rto(), 2 * base);
+  est.backoff();
+  EXPECT_EQ(est.rto(), 4 * base);
+}
+
+TEST(RttEstimator, BackoffCappedByMaxRto) {
+  RttConfig config;
+  config.max_rto = 4 * kSecond;
+  RttEstimator est(config);
+  est.add_sample(kSecond);
+  for (int i = 0; i < 20; ++i) est.backoff();
+  EXPECT_EQ(est.rto(), 4 * kSecond);
+}
+
+TEST(RttEstimator, NewSampleResetsBackoff) {
+  RttEstimator est;
+  est.add_sample(from_ms(100));
+  const SimTime base = est.rto();
+  est.backoff();
+  est.backoff();
+  est.add_sample(from_ms(100));
+  EXPECT_LE(est.rto(), base + from_ms(50));
+}
+
+TEST(RttEstimator, ClockGranularityFloor) {
+  RttConfig config;
+  config.clock_granularity = from_ms(10);
+  config.min_rto = 1;
+  RttEstimator est(config);
+  for (int i = 0; i < 100; ++i) est.add_sample(from_ms(50));
+  // RTO >= SRTT + G even when variance collapses.
+  EXPECT_GE(est.rto(), from_ms(60));
+}
+
+}  // namespace
+}  // namespace fmtcp::tcp

@@ -1,0 +1,124 @@
+#include "tcp/wiring.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace fmtcp::tcp {
+namespace {
+
+/// Serves a fixed number of tagged segments.
+class CountingProvider final : public SegmentProvider {
+ public:
+  explicit CountingProvider(std::uint64_t limit) : limit_(limit) {}
+  std::optional<SegmentContent> next_segment(std::uint32_t) override {
+    if (served_ >= limit_) return std::nullopt;
+    SegmentContent content;
+    content.data_seq = served_++;
+    content.payload_bytes = 100;
+    return content;
+  }
+  std::uint64_t served() const { return served_; }
+
+ private:
+  std::uint64_t limit_;
+  std::uint64_t served_ = 0;
+};
+
+class CountingSink final : public DataSink {
+ public:
+  void on_segment(std::uint32_t subflow, const net::Packet&) override {
+    ++per_subflow_[subflow];
+  }
+  std::uint64_t count(std::uint32_t subflow) const {
+    const auto it = per_subflow_.find(subflow);
+    return it == per_subflow_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> per_subflow_;
+};
+
+TEST(Wiring, BuildsOneSubflowPerPath) {
+  sim::Simulator sim(1);
+  net::Topology topology(sim, {net::PathConfig{}, net::PathConfig{},
+                               net::PathConfig{}});
+  CountingProvider provider(0);
+  CountingSink sink;
+  WiringOptions options;
+  WiredSubflows wired =
+      wire_subflows(sim, topology, provider, sink, options);
+  ASSERT_EQ(wired.subflows.size(), 3u);
+  ASSERT_EQ(wired.subflow_receivers.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(wired.subflows[i]->id(), i);
+  }
+}
+
+TEST(Wiring, SeedsLossHintFromPathConfig) {
+  sim::Simulator sim(1);
+  net::PathConfig lossy;
+  lossy.loss_rate = 0.3;
+  net::Topology topology(sim, {lossy});
+  CountingProvider provider(0);
+  CountingSink sink;
+  WiringOptions options;
+  options.seed_loss_hint = true;
+  WiredSubflows wired =
+      wire_subflows(sim, topology, provider, sink, options);
+  EXPECT_DOUBLE_EQ(wired.subflows[0]->loss_estimate(), 0.3);
+
+  options.seed_loss_hint = false;
+  WiredSubflows unseeded =
+      wire_subflows(sim, topology, provider, sink, options);
+  EXPECT_DOUBLE_EQ(unseeded.subflows[0]->loss_estimate(), 0.0);
+}
+
+TEST(Wiring, DataFlowsEndToEnd) {
+  sim::Simulator sim(1);
+  net::Topology topology(sim, {net::PathConfig{}});
+  CountingProvider provider(10);
+  CountingSink sink;
+  WiringOptions options;
+  WiredSubflows wired =
+      wire_subflows(sim, topology, provider, sink, options);
+  wired.subflows[0]->notify_send_opportunity();
+  sim.run_until(30 * kSecond);
+  EXPECT_EQ(sink.count(0), 10u);
+  EXPECT_EQ(provider.served(), 10u);
+}
+
+TEST(Wiring, CustomCongestionControlFactoryUsed) {
+  sim::Simulator sim(1);
+  net::Topology topology(sim, {net::PathConfig{}});
+  CountingProvider provider(0);
+  CountingSink sink;
+  WiringOptions options;
+  int factory_calls = 0;
+  options.make_cc = [&](std::uint32_t) -> std::unique_ptr<CongestionControl> {
+    ++factory_calls;
+    RenoConfig config;
+    config.initial_cwnd = 7.0;
+    return std::make_unique<RenoCc>(config);
+  };
+  WiredSubflows wired =
+      wire_subflows(sim, topology, provider, sink, options);
+  EXPECT_EQ(factory_calls, 1);
+  EXPECT_DOUBLE_EQ(wired.subflows[0]->cwnd(), 7.0);
+}
+
+TEST(Wiring, FreshRetransmitFlagPropagates) {
+  sim::Simulator sim(1);
+  net::Topology topology(sim, {net::PathConfig{}});
+  CountingProvider provider(0);
+  CountingSink sink;
+  WiringOptions options;
+  options.subflow.id = 99;  // Must be overridden to the path index.
+  options.fresh_payload_on_retransmit = true;
+  WiredSubflows wired =
+      wire_subflows(sim, topology, provider, sink, options);
+  EXPECT_EQ(wired.subflows[0]->id(), 0u);
+}
+
+}  // namespace
+}  // namespace fmtcp::tcp

@@ -1,0 +1,37 @@
+// trace_summary — aggregates a CSV packet trace written by
+// `fmtcp_sim --trace=FILE` (or any CsvTracer) into per-link statistics.
+//
+//   fmtcp_sim --protocol=fmtcp --trace=/tmp/run.csv --duration=30
+//   trace_summary /tmp/run.csv
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "net/trace_summary.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.csv>  (use - for stdin)\n",
+                 argv[0]);
+    return 2;
+  }
+
+  fmtcp::net::TraceSummary summary;
+  const std::string path = argv[1];
+  if (path == "-") {
+    summary = fmtcp::net::summarize_trace(std::cin);
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    summary = fmtcp::net::summarize_trace(in);
+  }
+
+  std::fputs(fmtcp::net::format_trace_summary(summary).c_str(), stdout);
+  std::printf(
+      "\n(link ids from the harness: 0/2 = path-1/2 forward, 1/3 = "
+      "reverse)\n");
+  return 0;
+}
