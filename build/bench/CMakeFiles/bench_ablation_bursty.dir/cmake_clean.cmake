@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bursty.dir/bench_ablation_bursty.cc.o"
+  "CMakeFiles/bench_ablation_bursty.dir/bench_ablation_bursty.cc.o.d"
+  "bench_ablation_bursty"
+  "bench_ablation_bursty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bursty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_allocation.dir/bench_analysis_allocation.cc.o"
+  "CMakeFiles/bench_analysis_allocation.dir/bench_analysis_allocation.cc.o.d"
+  "bench_analysis_allocation"
+  "bench_analysis_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_coding.dir/bench_analysis_coding.cc.o"
+  "CMakeFiles/bench_analysis_coding.dir/bench_analysis_coding.cc.o.d"
+  "bench_analysis_coding"
+  "bench_analysis_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

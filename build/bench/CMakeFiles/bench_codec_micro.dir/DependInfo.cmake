@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_codec_micro.cc" "bench/CMakeFiles/bench_codec_micro.dir/bench_codec_micro.cc.o" "gcc" "bench/CMakeFiles/bench_codec_micro.dir/bench_codec_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fmtcp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_fountain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_goodput.dir/bench_fig3_goodput.cc.o"
+  "CMakeFiles/bench_fig3_goodput.dir/bench_fig3_goodput.cc.o.d"
+  "bench_fig3_goodput"
+  "bench_fig3_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_loss_surge.dir/bench_fig4_loss_surge.cc.o"
+  "CMakeFiles/bench_fig4_loss_surge.dir/bench_fig4_loss_surge.cc.o.d"
+  "bench_fig4_loss_surge"
+  "bench_fig4_loss_surge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_loss_surge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

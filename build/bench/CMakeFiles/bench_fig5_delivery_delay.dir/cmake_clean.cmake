@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_delivery_delay.dir/bench_fig5_delivery_delay.cc.o"
+  "CMakeFiles/bench_fig5_delivery_delay.dir/bench_fig5_delivery_delay.cc.o.d"
+  "bench_fig5_delivery_delay"
+  "bench_fig5_delivery_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_delivery_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

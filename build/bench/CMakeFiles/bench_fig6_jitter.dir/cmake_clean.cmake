@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_jitter.dir/bench_fig6_jitter.cc.o"
+  "CMakeFiles/bench_fig6_jitter.dir/bench_fig6_jitter.cc.o.d"
+  "bench_fig6_jitter"
+  "bench_fig6_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cases.dir/bench_table1_cases.cc.o"
+  "CMakeFiles/bench_table1_cases.dir/bench_table1_cases.cc.o.d"
+  "bench_table1_cases"
+  "bench_table1_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

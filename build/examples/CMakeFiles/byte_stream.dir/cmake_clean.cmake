@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byte_stream.dir/byte_stream.cc.o"
+  "CMakeFiles/byte_stream.dir/byte_stream.cc.o.d"
+  "byte_stream"
+  "byte_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byte_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fountain_codec_demo.dir/fountain_codec_demo.cc.o"
+  "CMakeFiles/fountain_codec_demo.dir/fountain_codec_demo.cc.o.d"
+  "fountain_codec_demo"
+  "fountain_codec_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fountain_codec_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_lte_surge.dir/wifi_lte_surge.cc.o"
+  "CMakeFiles/wifi_lte_surge.dir/wifi_lte_surge.cc.o.d"
+  "wifi_lte_surge"
+  "wifi_lte_surge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_lte_surge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtcp_analysis.dir/analysis/allocation_analysis.cc.o"
+  "CMakeFiles/fmtcp_analysis.dir/analysis/allocation_analysis.cc.o.d"
+  "CMakeFiles/fmtcp_analysis.dir/analysis/coding_analysis.cc.o"
+  "CMakeFiles/fmtcp_analysis.dir/analysis/coding_analysis.cc.o.d"
+  "libfmtcp_analysis.a"
+  "libfmtcp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtcp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfmtcp_analysis.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtcp_baselines.dir/baselines/fixed_rate.cc.o"
+  "CMakeFiles/fmtcp_baselines.dir/baselines/fixed_rate.cc.o.d"
+  "CMakeFiles/fmtcp_baselines.dir/baselines/hmtp.cc.o"
+  "CMakeFiles/fmtcp_baselines.dir/baselines/hmtp.cc.o.d"
+  "libfmtcp_baselines.a"
+  "libfmtcp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtcp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtcp_common.dir/common/flags.cc.o"
+  "CMakeFiles/fmtcp_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/fmtcp_common.dir/common/logging.cc.o"
+  "CMakeFiles/fmtcp_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/fmtcp_common.dir/common/rng.cc.o"
+  "CMakeFiles/fmtcp_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/fmtcp_common.dir/common/stats.cc.o"
+  "CMakeFiles/fmtcp_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/fmtcp_common.dir/common/timeseries.cc.o"
+  "CMakeFiles/fmtcp_common.dir/common/timeseries.cc.o.d"
+  "libfmtcp_common.a"
+  "libfmtcp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtcp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cc" "src/CMakeFiles/fmtcp_core.dir/core/allocator.cc.o" "gcc" "src/CMakeFiles/fmtcp_core.dir/core/allocator.cc.o.d"
+  "/root/repo/src/core/block_manager.cc" "src/CMakeFiles/fmtcp_core.dir/core/block_manager.cc.o" "gcc" "src/CMakeFiles/fmtcp_core.dir/core/block_manager.cc.o.d"
+  "/root/repo/src/core/connection.cc" "src/CMakeFiles/fmtcp_core.dir/core/connection.cc.o" "gcc" "src/CMakeFiles/fmtcp_core.dir/core/connection.cc.o.d"
+  "/root/repo/src/core/eat.cc" "src/CMakeFiles/fmtcp_core.dir/core/eat.cc.o" "gcc" "src/CMakeFiles/fmtcp_core.dir/core/eat.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/CMakeFiles/fmtcp_core.dir/core/params.cc.o" "gcc" "src/CMakeFiles/fmtcp_core.dir/core/params.cc.o.d"
+  "/root/repo/src/core/receiver.cc" "src/CMakeFiles/fmtcp_core.dir/core/receiver.cc.o" "gcc" "src/CMakeFiles/fmtcp_core.dir/core/receiver.cc.o.d"
+  "/root/repo/src/core/sender.cc" "src/CMakeFiles/fmtcp_core.dir/core/sender.cc.o" "gcc" "src/CMakeFiles/fmtcp_core.dir/core/sender.cc.o.d"
+  "/root/repo/src/core/stream.cc" "src/CMakeFiles/fmtcp_core.dir/core/stream.cc.o" "gcc" "src/CMakeFiles/fmtcp_core.dir/core/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fmtcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_fountain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtcp_core.dir/core/allocator.cc.o"
+  "CMakeFiles/fmtcp_core.dir/core/allocator.cc.o.d"
+  "CMakeFiles/fmtcp_core.dir/core/block_manager.cc.o"
+  "CMakeFiles/fmtcp_core.dir/core/block_manager.cc.o.d"
+  "CMakeFiles/fmtcp_core.dir/core/connection.cc.o"
+  "CMakeFiles/fmtcp_core.dir/core/connection.cc.o.d"
+  "CMakeFiles/fmtcp_core.dir/core/eat.cc.o"
+  "CMakeFiles/fmtcp_core.dir/core/eat.cc.o.d"
+  "CMakeFiles/fmtcp_core.dir/core/params.cc.o"
+  "CMakeFiles/fmtcp_core.dir/core/params.cc.o.d"
+  "CMakeFiles/fmtcp_core.dir/core/receiver.cc.o"
+  "CMakeFiles/fmtcp_core.dir/core/receiver.cc.o.d"
+  "CMakeFiles/fmtcp_core.dir/core/sender.cc.o"
+  "CMakeFiles/fmtcp_core.dir/core/sender.cc.o.d"
+  "CMakeFiles/fmtcp_core.dir/core/stream.cc.o"
+  "CMakeFiles/fmtcp_core.dir/core/stream.cc.o.d"
+  "libfmtcp_core.a"
+  "libfmtcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fountain/block.cc" "src/CMakeFiles/fmtcp_fountain.dir/fountain/block.cc.o" "gcc" "src/CMakeFiles/fmtcp_fountain.dir/fountain/block.cc.o.d"
+  "/root/repo/src/fountain/decoder.cc" "src/CMakeFiles/fmtcp_fountain.dir/fountain/decoder.cc.o" "gcc" "src/CMakeFiles/fmtcp_fountain.dir/fountain/decoder.cc.o.d"
+  "/root/repo/src/fountain/gf2.cc" "src/CMakeFiles/fmtcp_fountain.dir/fountain/gf2.cc.o" "gcc" "src/CMakeFiles/fmtcp_fountain.dir/fountain/gf2.cc.o.d"
+  "/root/repo/src/fountain/lt_codec.cc" "src/CMakeFiles/fmtcp_fountain.dir/fountain/lt_codec.cc.o" "gcc" "src/CMakeFiles/fmtcp_fountain.dir/fountain/lt_codec.cc.o.d"
+  "/root/repo/src/fountain/random_linear.cc" "src/CMakeFiles/fmtcp_fountain.dir/fountain/random_linear.cc.o" "gcc" "src/CMakeFiles/fmtcp_fountain.dir/fountain/random_linear.cc.o.d"
+  "/root/repo/src/fountain/soliton.cc" "src/CMakeFiles/fmtcp_fountain.dir/fountain/soliton.cc.o" "gcc" "src/CMakeFiles/fmtcp_fountain.dir/fountain/soliton.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fmtcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtcp_fountain.dir/fountain/block.cc.o"
+  "CMakeFiles/fmtcp_fountain.dir/fountain/block.cc.o.d"
+  "CMakeFiles/fmtcp_fountain.dir/fountain/decoder.cc.o"
+  "CMakeFiles/fmtcp_fountain.dir/fountain/decoder.cc.o.d"
+  "CMakeFiles/fmtcp_fountain.dir/fountain/gf2.cc.o"
+  "CMakeFiles/fmtcp_fountain.dir/fountain/gf2.cc.o.d"
+  "CMakeFiles/fmtcp_fountain.dir/fountain/lt_codec.cc.o"
+  "CMakeFiles/fmtcp_fountain.dir/fountain/lt_codec.cc.o.d"
+  "CMakeFiles/fmtcp_fountain.dir/fountain/random_linear.cc.o"
+  "CMakeFiles/fmtcp_fountain.dir/fountain/random_linear.cc.o.d"
+  "CMakeFiles/fmtcp_fountain.dir/fountain/soliton.cc.o"
+  "CMakeFiles/fmtcp_fountain.dir/fountain/soliton.cc.o.d"
+  "libfmtcp_fountain.a"
+  "libfmtcp_fountain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtcp_fountain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtcp_harness.dir/harness/fairness.cc.o"
+  "CMakeFiles/fmtcp_harness.dir/harness/fairness.cc.o.d"
+  "CMakeFiles/fmtcp_harness.dir/harness/printer.cc.o"
+  "CMakeFiles/fmtcp_harness.dir/harness/printer.cc.o.d"
+  "CMakeFiles/fmtcp_harness.dir/harness/runner.cc.o"
+  "CMakeFiles/fmtcp_harness.dir/harness/runner.cc.o.d"
+  "CMakeFiles/fmtcp_harness.dir/harness/scenario.cc.o"
+  "CMakeFiles/fmtcp_harness.dir/harness/scenario.cc.o.d"
+  "CMakeFiles/fmtcp_harness.dir/harness/sweep.cc.o"
+  "CMakeFiles/fmtcp_harness.dir/harness/sweep.cc.o.d"
+  "CMakeFiles/fmtcp_harness.dir/harness/table1.cc.o"
+  "CMakeFiles/fmtcp_harness.dir/harness/table1.cc.o.d"
+  "libfmtcp_harness.a"
+  "libfmtcp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtcp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtcp_metrics.dir/metrics/block_stats.cc.o"
+  "CMakeFiles/fmtcp_metrics.dir/metrics/block_stats.cc.o.d"
+  "CMakeFiles/fmtcp_metrics.dir/metrics/goodput.cc.o"
+  "CMakeFiles/fmtcp_metrics.dir/metrics/goodput.cc.o.d"
+  "libfmtcp_metrics.a"
+  "libfmtcp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtcp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

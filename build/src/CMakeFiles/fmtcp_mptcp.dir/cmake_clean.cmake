@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtcp_mptcp.dir/mptcp/connection.cc.o"
+  "CMakeFiles/fmtcp_mptcp.dir/mptcp/connection.cc.o.d"
+  "CMakeFiles/fmtcp_mptcp.dir/mptcp/receiver.cc.o"
+  "CMakeFiles/fmtcp_mptcp.dir/mptcp/receiver.cc.o.d"
+  "CMakeFiles/fmtcp_mptcp.dir/mptcp/scheduler.cc.o"
+  "CMakeFiles/fmtcp_mptcp.dir/mptcp/scheduler.cc.o.d"
+  "CMakeFiles/fmtcp_mptcp.dir/mptcp/sender.cc.o"
+  "CMakeFiles/fmtcp_mptcp.dir/mptcp/sender.cc.o.d"
+  "libfmtcp_mptcp.a"
+  "libfmtcp_mptcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtcp_mptcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtcp_net.dir/net/link.cc.o"
+  "CMakeFiles/fmtcp_net.dir/net/link.cc.o.d"
+  "CMakeFiles/fmtcp_net.dir/net/loss_model.cc.o"
+  "CMakeFiles/fmtcp_net.dir/net/loss_model.cc.o.d"
+  "CMakeFiles/fmtcp_net.dir/net/packet.cc.o"
+  "CMakeFiles/fmtcp_net.dir/net/packet.cc.o.d"
+  "CMakeFiles/fmtcp_net.dir/net/path.cc.o"
+  "CMakeFiles/fmtcp_net.dir/net/path.cc.o.d"
+  "CMakeFiles/fmtcp_net.dir/net/queue.cc.o"
+  "CMakeFiles/fmtcp_net.dir/net/queue.cc.o.d"
+  "CMakeFiles/fmtcp_net.dir/net/topology.cc.o"
+  "CMakeFiles/fmtcp_net.dir/net/topology.cc.o.d"
+  "CMakeFiles/fmtcp_net.dir/net/trace.cc.o"
+  "CMakeFiles/fmtcp_net.dir/net/trace.cc.o.d"
+  "CMakeFiles/fmtcp_net.dir/net/trace_summary.cc.o"
+  "CMakeFiles/fmtcp_net.dir/net/trace_summary.cc.o.d"
+  "libfmtcp_net.a"
+  "libfmtcp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtcp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtcp_sim.dir/sim/scheduler.cc.o"
+  "CMakeFiles/fmtcp_sim.dir/sim/scheduler.cc.o.d"
+  "CMakeFiles/fmtcp_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/fmtcp_sim.dir/sim/simulator.cc.o.d"
+  "CMakeFiles/fmtcp_sim.dir/sim/timer.cc.o"
+  "CMakeFiles/fmtcp_sim.dir/sim/timer.cc.o.d"
+  "libfmtcp_sim.a"
+  "libfmtcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

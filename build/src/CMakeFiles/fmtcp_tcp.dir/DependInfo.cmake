@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/congestion.cc" "src/CMakeFiles/fmtcp_tcp.dir/tcp/congestion.cc.o" "gcc" "src/CMakeFiles/fmtcp_tcp.dir/tcp/congestion.cc.o.d"
+  "/root/repo/src/tcp/rtt_estimator.cc" "src/CMakeFiles/fmtcp_tcp.dir/tcp/rtt_estimator.cc.o" "gcc" "src/CMakeFiles/fmtcp_tcp.dir/tcp/rtt_estimator.cc.o.d"
+  "/root/repo/src/tcp/subflow.cc" "src/CMakeFiles/fmtcp_tcp.dir/tcp/subflow.cc.o" "gcc" "src/CMakeFiles/fmtcp_tcp.dir/tcp/subflow.cc.o.d"
+  "/root/repo/src/tcp/wiring.cc" "src/CMakeFiles/fmtcp_tcp.dir/tcp/wiring.cc.o" "gcc" "src/CMakeFiles/fmtcp_tcp.dir/tcp/wiring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fmtcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

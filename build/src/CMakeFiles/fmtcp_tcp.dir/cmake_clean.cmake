@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtcp_tcp.dir/tcp/congestion.cc.o"
+  "CMakeFiles/fmtcp_tcp.dir/tcp/congestion.cc.o.d"
+  "CMakeFiles/fmtcp_tcp.dir/tcp/rtt_estimator.cc.o"
+  "CMakeFiles/fmtcp_tcp.dir/tcp/rtt_estimator.cc.o.d"
+  "CMakeFiles/fmtcp_tcp.dir/tcp/subflow.cc.o"
+  "CMakeFiles/fmtcp_tcp.dir/tcp/subflow.cc.o.d"
+  "CMakeFiles/fmtcp_tcp.dir/tcp/wiring.cc.o"
+  "CMakeFiles/fmtcp_tcp.dir/tcp/wiring.cc.o.d"
+  "libfmtcp_tcp.a"
+  "libfmtcp_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtcp_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

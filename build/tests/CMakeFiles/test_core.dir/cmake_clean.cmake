@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/allocator_test.cc.o"
+  "CMakeFiles/test_core.dir/core/allocator_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/block_manager_test.cc.o"
+  "CMakeFiles/test_core.dir/core/block_manager_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/eat_test.cc.o"
+  "CMakeFiles/test_core.dir/core/eat_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/fmtcp_integration_test.cc.o"
+  "CMakeFiles/test_core.dir/core/fmtcp_integration_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/params_test.cc.o"
+  "CMakeFiles/test_core.dir/core/params_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/receiver_test.cc.o"
+  "CMakeFiles/test_core.dir/core/receiver_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/stream_test.cc.o"
+  "CMakeFiles/test_core.dir/core/stream_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fountain.dir/fountain/block_test.cc.o"
+  "CMakeFiles/test_fountain.dir/fountain/block_test.cc.o.d"
+  "CMakeFiles/test_fountain.dir/fountain/decoder_test.cc.o"
+  "CMakeFiles/test_fountain.dir/fountain/decoder_test.cc.o.d"
+  "CMakeFiles/test_fountain.dir/fountain/gf2_test.cc.o"
+  "CMakeFiles/test_fountain.dir/fountain/gf2_test.cc.o.d"
+  "CMakeFiles/test_fountain.dir/fountain/lt_codec_test.cc.o"
+  "CMakeFiles/test_fountain.dir/fountain/lt_codec_test.cc.o.d"
+  "CMakeFiles/test_fountain.dir/fountain/random_linear_test.cc.o"
+  "CMakeFiles/test_fountain.dir/fountain/random_linear_test.cc.o.d"
+  "CMakeFiles/test_fountain.dir/fountain/soliton_test.cc.o"
+  "CMakeFiles/test_fountain.dir/fountain/soliton_test.cc.o.d"
+  "CMakeFiles/test_fountain.dir/fountain/systematic_test.cc.o"
+  "CMakeFiles/test_fountain.dir/fountain/systematic_test.cc.o.d"
+  "test_fountain"
+  "test_fountain.pdb"
+  "test_fountain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fountain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

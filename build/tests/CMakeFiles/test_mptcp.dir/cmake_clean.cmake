@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mptcp.dir/mptcp/mptcp_integration_test.cc.o"
+  "CMakeFiles/test_mptcp.dir/mptcp/mptcp_integration_test.cc.o.d"
+  "CMakeFiles/test_mptcp.dir/mptcp/receiver_test.cc.o"
+  "CMakeFiles/test_mptcp.dir/mptcp/receiver_test.cc.o.d"
+  "CMakeFiles/test_mptcp.dir/mptcp/reinjection_test.cc.o"
+  "CMakeFiles/test_mptcp.dir/mptcp/reinjection_test.cc.o.d"
+  "CMakeFiles/test_mptcp.dir/mptcp/scheduler_test.cc.o"
+  "CMakeFiles/test_mptcp.dir/mptcp/scheduler_test.cc.o.d"
+  "test_mptcp"
+  "test_mptcp.pdb"
+  "test_mptcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mptcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

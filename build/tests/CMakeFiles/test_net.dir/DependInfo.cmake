@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/jitter_test.cc" "tests/CMakeFiles/test_net.dir/net/jitter_test.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/jitter_test.cc.o.d"
+  "/root/repo/tests/net/link_test.cc" "tests/CMakeFiles/test_net.dir/net/link_test.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/link_test.cc.o.d"
+  "/root/repo/tests/net/loss_model_test.cc" "tests/CMakeFiles/test_net.dir/net/loss_model_test.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/loss_model_test.cc.o.d"
+  "/root/repo/tests/net/packet_test.cc" "tests/CMakeFiles/test_net.dir/net/packet_test.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/packet_test.cc.o.d"
+  "/root/repo/tests/net/queue_test.cc" "tests/CMakeFiles/test_net.dir/net/queue_test.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/queue_test.cc.o.d"
+  "/root/repo/tests/net/red_queue_test.cc" "tests/CMakeFiles/test_net.dir/net/red_queue_test.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/red_queue_test.cc.o.d"
+  "/root/repo/tests/net/topology_test.cc" "tests/CMakeFiles/test_net.dir/net/topology_test.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/topology_test.cc.o.d"
+  "/root/repo/tests/net/trace_summary_test.cc" "tests/CMakeFiles/test_net.dir/net/trace_summary_test.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/trace_summary_test.cc.o.d"
+  "/root/repo/tests/net/trace_test.cc" "tests/CMakeFiles/test_net.dir/net/trace_test.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fmtcp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_fountain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/jitter_test.cc.o"
+  "CMakeFiles/test_net.dir/net/jitter_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/link_test.cc.o"
+  "CMakeFiles/test_net.dir/net/link_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/loss_model_test.cc.o"
+  "CMakeFiles/test_net.dir/net/loss_model_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/packet_test.cc.o"
+  "CMakeFiles/test_net.dir/net/packet_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/queue_test.cc.o"
+  "CMakeFiles/test_net.dir/net/queue_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/red_queue_test.cc.o"
+  "CMakeFiles/test_net.dir/net/red_queue_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/topology_test.cc.o"
+  "CMakeFiles/test_net.dir/net/topology_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/trace_summary_test.cc.o"
+  "CMakeFiles/test_net.dir/net/trace_summary_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/trace_test.cc.o"
+  "CMakeFiles/test_net.dir/net/trace_test.cc.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tcp/congestion_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/congestion_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/congestion_test.cc.o.d"
+  "/root/repo/tests/tcp/cubic_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/cubic_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/cubic_test.cc.o.d"
+  "/root/repo/tests/tcp/delayed_ack_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/delayed_ack_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/delayed_ack_test.cc.o.d"
+  "/root/repo/tests/tcp/rtt_estimator_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/rtt_estimator_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/rtt_estimator_test.cc.o.d"
+  "/root/repo/tests/tcp/sack_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/sack_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/sack_test.cc.o.d"
+  "/root/repo/tests/tcp/subflow_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/subflow_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/subflow_test.cc.o.d"
+  "/root/repo/tests/tcp/wiring_test.cc" "tests/CMakeFiles/test_tcp.dir/tcp/wiring_test.cc.o" "gcc" "tests/CMakeFiles/test_tcp.dir/tcp/wiring_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fmtcp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_fountain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_mptcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fmtcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp.dir/tcp/congestion_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/congestion_test.cc.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/cubic_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/cubic_test.cc.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/delayed_ack_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/delayed_ack_test.cc.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/rtt_estimator_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/rtt_estimator_test.cc.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/sack_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/sack_test.cc.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/subflow_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/subflow_test.cc.o.d"
+  "CMakeFiles/test_tcp.dir/tcp/wiring_test.cc.o"
+  "CMakeFiles/test_tcp.dir/tcp/wiring_test.cc.o.d"
+  "test_tcp"
+  "test_tcp.pdb"
+  "test_tcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

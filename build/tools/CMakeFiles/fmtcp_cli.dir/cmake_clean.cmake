@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtcp_cli.dir/fmtcp_sim.cc.o"
+  "CMakeFiles/fmtcp_cli.dir/fmtcp_sim.cc.o.d"
+  "fmtcp_sim"
+  "fmtcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtcp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
