@@ -7,8 +7,14 @@
 // subflow-2 loss rises 2%→15% (cases 1–4) MPTCP degrades sharply (the
 // paper reports up to ~60%) while FMTCP degrades only slightly; the gap
 // also persists across the delay sweep (cases 5–8).
+//
+// With --json, emits one JSONL record per (case, protocol) instead of
+// the table:
+//   {"bench":"fig3_goodput","metric":"goodput_MBps","protocol":"fmtcp",
+//    "case":1,"value":0.512,"stddev":0.004}
 #include <cstdio>
 
+#include "common/flags.h"
 #include "harness/printer.h"
 #include "harness/sweep.h"
 #include "harness/table1.h"
@@ -16,8 +22,14 @@
 using namespace fmtcp;
 using namespace fmtcp::harness;
 
-int main() {
-  print_header("Figure 3: total goodput vs subflow-2 quality (Table I)");
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const bool json = flags.get_bool(
+      "json", false, "emit JSONL {metric,protocol,value} records");
+
+  if (!json) {
+    print_header("Figure 3: total goodput vs subflow-2 quality (Table I)");
+  }
 
   const std::vector<std::uint64_t> seeds = {1001, 2002, 3003};
   std::vector<SweepJob> jobs;
@@ -43,6 +55,24 @@ int main() {
     return aggregate(slice,
                      [](const RunResult& r) { return r.goodput_MBps; });
   };
+
+  if (json) {
+    for (std::size_t c = 0; c < table1_cases().size(); ++c) {
+      const SeedStats fmtcp_stats = cell(c, 0);
+      const SeedStats mptcp_stats = cell(c, 1);
+      std::printf(
+          "{\"bench\":\"fig3_goodput\",\"metric\":\"goodput_MBps\","
+          "\"protocol\":\"fmtcp\",\"case\":%zu,\"value\":%.6f,"
+          "\"stddev\":%.6f}\n",
+          c + 1, fmtcp_stats.mean, fmtcp_stats.stddev);
+      std::printf(
+          "{\"bench\":\"fig3_goodput\",\"metric\":\"goodput_MBps\","
+          "\"protocol\":\"mptcp\",\"case\":%zu,\"value\":%.6f,"
+          "\"stddev\":%.6f}\n",
+          c + 1, mptcp_stats.mean, mptcp_stats.stddev);
+    }
+    return 0;
+  }
 
   std::vector<std::vector<std::string>> rows;
   SeedStats fmtcp_case1;

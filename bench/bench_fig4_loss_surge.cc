@@ -11,9 +11,15 @@
 // Mathis-limited, which compresses the contrast, so the headline run
 // keeps path 1 clean (the blocking mechanism under test is unchanged —
 // see DESIGN.md) and the paper-literal 1%/1% run follows.
+//
+// With --json, emits one JSONL record per (variant, protocol) with the
+// during-surge mean and stddev instead of the tables:
+//   {"bench":"fig4_loss_surge","metric":"surge_goodput_MBps",
+//    "protocol":"fmtcp","case":"a","value":0.43,"stddev":0.02}
 #include <cmath>
 #include <cstdio>
 
+#include "common/flags.h"
 #include "harness/printer.h"
 #include "harness/runner.h"
 
@@ -22,7 +28,8 @@ using namespace fmtcp::harness;
 
 namespace {
 
-void run_variant(const char* name, double path1_loss, double surge) {
+void run_variant(const char* name, const char* slug, double path1_loss,
+                 double surge, bool json) {
   Scenario scenario;
   scenario.path1 = {100.0, path1_loss};
   scenario.path2 = {100.0, 0.01};
@@ -34,21 +41,24 @@ void run_variant(const char* name, double path1_loss, double surge) {
   const RunResult fmtcp_run = run_scenario(Protocol::kFmtcp, scenario);
   const RunResult mptcp_run = run_scenario(Protocol::kMptcp, scenario);
 
-  std::printf("\n-- %s: surge to %.0f%% during [50s,200s) --\n", name,
-              surge * 100);
-  std::printf("t(s)\tFMTCP(MB/s)\tMPTCP(MB/s)\n");
-  const auto window_avg = [](const std::vector<double>& v, std::size_t i) {
-    double sum = 0.0;
-    std::size_t n = 0;
-    for (std::size_t j = i; j < i + 10 && j < v.size(); ++j, ++n) {
-      sum += v[j];
+  if (!json) {
+    std::printf("\n-- %s: surge to %.0f%% during [50s,200s) --\n", name,
+                surge * 100);
+    std::printf("t(s)\tFMTCP(MB/s)\tMPTCP(MB/s)\n");
+    const auto window_avg = [](const std::vector<double>& v,
+                               std::size_t i) {
+      double sum = 0.0;
+      std::size_t n = 0;
+      for (std::size_t j = i; j < i + 10 && j < v.size(); ++j, ++n) {
+        sum += v[j];
+      }
+      return n == 0 ? 0.0 : sum / static_cast<double>(n);
+    };
+    for (std::size_t t = 0; t < 300; t += 10) {
+      std::printf("%zu\t%.4f\t%.4f\n", t,
+                  window_avg(fmtcp_run.goodput_series_MBps, t),
+                  window_avg(mptcp_run.goodput_series_MBps, t));
     }
-    return n == 0 ? 0.0 : sum / static_cast<double>(n);
-  };
-  for (std::size_t t = 0; t < 300; t += 10) {
-    std::printf("%zu\t%.4f\t%.4f\n", t,
-                window_avg(fmtcp_run.goodput_series_MBps, t),
-                window_avg(mptcp_run.goodput_series_MBps, t));
   }
 
   // Stability during the surge: stddev of the 1-second rates in
@@ -69,6 +79,19 @@ void run_variant(const char* name, double path1_loss, double surge) {
   };
   const auto [f_mean, f_sd] = stability(fmtcp_run.goodput_series_MBps);
   const auto [m_mean, m_sd] = stability(mptcp_run.goodput_series_MBps);
+  if (json) {
+    std::printf(
+        "{\"bench\":\"fig4_loss_surge\",\"metric\":\"surge_goodput_MBps\","
+        "\"protocol\":\"fmtcp\",\"case\":\"%s\",\"value\":%.6f,"
+        "\"stddev\":%.6f}\n",
+        slug, f_mean, f_sd);
+    std::printf(
+        "{\"bench\":\"fig4_loss_surge\",\"metric\":\"surge_goodput_MBps\","
+        "\"protocol\":\"mptcp\",\"case\":\"%s\",\"value\":%.6f,"
+        "\"stddev\":%.6f}\n",
+        slug, m_mean, m_sd);
+    return;
+  }
   std::printf(
       "during surge: FMTCP %.3f±%.3f MB/s, MPTCP %.3f±%.3f MB/s "
       "(coef.var. %.2f vs %.2f)\n",
@@ -77,11 +100,20 @@ void run_variant(const char* name, double path1_loss, double surge) {
 
 }  // namespace
 
-int main() {
-  print_header("Figure 4: goodput rate under abrupt subflow-2 loss surge");
-  run_variant("Fig 4(a)", 0.0, 0.25);
-  run_variant("Fig 4(b)", 0.0, 0.35);
-  run_variant("Fig 4(a) paper-literal (path1 loss 1%)", 0.01, 0.25);
-  run_variant("Fig 4(b) paper-literal (path1 loss 1%)", 0.01, 0.35);
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const bool json = flags.get_bool(
+      "json", false, "emit JSONL {metric,protocol,value} records");
+
+  if (!json) {
+    print_header(
+        "Figure 4: goodput rate under abrupt subflow-2 loss surge");
+  }
+  run_variant("Fig 4(a)", "a", 0.0, 0.25, json);
+  run_variant("Fig 4(b)", "b", 0.0, 0.35, json);
+  run_variant("Fig 4(a) paper-literal (path1 loss 1%)", "a_paper", 0.01,
+              0.25, json);
+  run_variant("Fig 4(b) paper-literal (path1 loss 1%)", "b_paper", 0.01,
+              0.35, json);
   return 0;
 }

@@ -9,12 +9,14 @@ FmtcpConnection::FmtcpConnection(sim::Simulator& simulator,
                                  const FmtcpConnectionConfig& config)
     : goodput_(config.goodput_bin) {
   sender_ = std::make_unique<FmtcpSender>(simulator, config.params, &delays_,
-                                          config.source);
-  receiver_ = std::make_unique<FmtcpReceiver>(simulator, config.params,
-                                              &goodput_, config.block_sink);
+                                          config.source, config.observer);
+  receiver_ = std::make_unique<FmtcpReceiver>(
+      simulator, config.params, &goodput_, config.block_sink,
+      config.observer);
 
   tcp::WiringOptions options;
   options.subflow = config.subflow;
+  options.subflow.observer = config.observer;
   options.receiver = config.receiver;
   options.fresh_payload_on_retransmit = true;
   options.seed_loss_hint = config.seed_loss_hint;

@@ -12,6 +12,7 @@
 #include "metrics/block_stats.h"
 #include "metrics/goodput.h"
 #include "net/topology.h"
+#include "obs/observer.h"
 #include "sim/simulator.h"
 #include "tcp/subflow.h"
 
@@ -37,6 +38,9 @@ struct FmtcpConnectionConfig {
   /// payloads with byte-exact verification). See core/stream.h.
   BlockSource* source = nullptr;
   BlockSink* block_sink = nullptr;
+  /// Observability sink (not owned; null = off). Threaded into the
+  /// sender, receiver, and every subflow. See obs/observer.h.
+  obs::Observer* observer = nullptr;
 };
 
 class FmtcpConnection {

@@ -16,25 +16,47 @@ constexpr std::size_t kRecentlyDecodedEcho = 4;
 FmtcpReceiver::FmtcpReceiver(sim::Simulator& simulator,
                              const FmtcpParams& params,
                              metrics::GoodputMeter* goodput,
-                             BlockSink* sink)
+                             BlockSink* sink, obs::Observer* observer)
     : simulator_(simulator),
       params_(params),
       goodput_(goodput),
-      sink_(sink) {
+      sink_(sink),
+      obs_(observer) {
   params_.validate();
   FMTCP_CHECK(sink_ == nullptr || params_.carry_payload);
+  if (obs_ != nullptr) {
+    obs_symbols_ = obs_->metrics.counter("fmtcp.symbols_received");
+    obs_redundant_ = obs_->metrics.counter("fmtcp.redundant_symbols");
+    obs_blocks_decoded_ = obs_->metrics.counter("fmtcp.blocks_decoded");
+    obs_blocks_delivered_ =
+        obs_->metrics.counter("fmtcp.blocks_delivered");
+  }
 }
 
 bool FmtcpReceiver::is_decoded(net::BlockId id) const {
   return id < deliver_next_ || decoded_waiting_.count(id) != 0;
 }
 
-void FmtcpReceiver::on_segment(std::uint32_t /*subflow*/,
+void FmtcpReceiver::note_redundant(std::uint32_t subflow,
+                                   net::BlockId block,
+                                   std::uint32_t rank) {
+  obs_redundant_.inc();
+  if (obs_ != nullptr) {
+    obs_->timeline.emit({obs::EventType::kRedundantSymbol, subflow,
+                         simulator_.now(), block,
+                         static_cast<double>(rank), 0.0});
+  }
+}
+
+void FmtcpReceiver::on_segment(std::uint32_t subflow,
                                const net::Packet& p) {
   for (const net::EncodedSymbol& symbol : p.symbols) {
     ++symbols_received_;
+    obs_symbols_.inc();
     if (is_decoded(symbol.block)) {
       ++redundant_symbols_;
+      note_redundant(subflow, symbol.block,
+                     /*rank=*/symbol.block_symbols);
       continue;
     }
     auto [it, inserted] = decoders_.try_emplace(
@@ -43,7 +65,14 @@ void FmtcpReceiver::on_segment(std::uint32_t /*subflow*/,
     fountain::BlockDecoder& decoder = it->second;
     if (!decoder.add_symbol(symbol)) {
       ++redundant_symbols_;  // Linearly dependent; dropped (§III-B).
+      note_redundant(subflow, symbol.block, decoder.rank());
       continue;
+    }
+    if (obs_ != nullptr) {
+      obs_->timeline.emit({obs::EventType::kRankProgress, subflow,
+                           simulator_.now(), symbol.block,
+                           static_cast<double>(decoder.rank()),
+                           static_cast<double>(symbol.block_symbols)});
     }
     if (decoder.complete()) {
       if (sink_ != nullptr) {
@@ -60,6 +89,13 @@ void FmtcpReceiver::on_segment(std::uint32_t /*subflow*/,
       recently_decoded_.push_front(symbol.block);
       if (recently_decoded_.size() > kRecentlyDecodedEcho) {
         recently_decoded_.pop_back();
+      }
+      obs_blocks_decoded_.inc();
+      if (obs_ != nullptr) {
+        obs_->timeline.emit(
+            {obs::EventType::kBlockDecoded, subflow, simulator_.now(),
+             symbol.block, static_cast<double>(decoder.received_count()),
+             static_cast<double>(decoder.redundant_count())});
       }
       decoders_.erase(it);
       deliver_ready_blocks();
@@ -80,6 +116,12 @@ void FmtcpReceiver::deliver_ready_blocks() {
       goodput_->on_delivered(simulator_.now(), params_.block_bytes());
     }
     ++blocks_delivered_;
+    obs_blocks_delivered_.inc();
+    if (obs_ != nullptr) {
+      obs_->timeline.emit({obs::EventType::kBlockDelivered, 0,
+                           simulator_.now(), deliver_next_,
+                           static_cast<double>(blocks_delivered_), 0.0});
+    }
     ++deliver_next_;
   }
 }

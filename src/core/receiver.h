@@ -12,6 +12,7 @@
 #include "fountain/decoder.h"
 #include "metrics/goodput.h"
 #include "net/packet.h"
+#include "obs/observer.h"
 #include "sim/simulator.h"
 #include "tcp/subflow.h"
 
@@ -24,9 +25,13 @@ class FmtcpReceiver final : public tcp::DataSink {
   /// `sink` may be null; when set (requires params.carry_payload) it
   /// receives every decoded block in id order — the application-data
   /// path (see core/stream.h).
+  /// `observer` may be null; when set, per-block rank progress,
+  /// redundant-symbol detections, and decode completions land on its
+  /// timeline and fmtcp.* metrics.
   FmtcpReceiver(sim::Simulator& simulator, const FmtcpParams& params,
                 metrics::GoodputMeter* goodput = nullptr,
-                BlockSink* sink = nullptr);
+                BlockSink* sink = nullptr,
+                obs::Observer* observer = nullptr);
 
   // tcp::DataSink
   void on_segment(std::uint32_t subflow, const net::Packet& p) override;
@@ -54,6 +59,9 @@ class FmtcpReceiver final : public tcp::DataSink {
 
  private:
   bool is_decoded(net::BlockId id) const;
+  /// Counts a redundant symbol and emits its timeline event.
+  void note_redundant(std::uint32_t subflow, net::BlockId block,
+                      std::uint32_t rank);
   void deliver_ready_blocks();
   void note_buffer_occupancy();
   net::BlockAck make_block_ack(net::BlockId id) const;
@@ -75,6 +83,13 @@ class FmtcpReceiver final : public tcp::DataSink {
   std::uint64_t symbols_received_ = 0;
   std::size_t max_buffered_ = 0;
   bool payload_ok_ = true;
+
+  // Observability (no-ops when obs_ is null).
+  obs::Observer* obs_ = nullptr;
+  obs::Counter obs_symbols_;
+  obs::Counter obs_redundant_;
+  obs::Counter obs_blocks_decoded_;
+  obs::Counter obs_blocks_delivered_;
 };
 
 }  // namespace fmtcp::core

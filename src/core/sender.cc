@@ -1,5 +1,6 @@
 #include "core/sender.h"
 
+#include <cmath>
 #include <map>
 
 #include "common/check.h"
@@ -8,7 +9,7 @@ namespace fmtcp::core {
 
 FmtcpSender::FmtcpSender(sim::Simulator& simulator, const FmtcpParams& params,
                          metrics::BlockDelayRecorder* delays,
-                         BlockSource* source)
+                         BlockSource* source, obs::Observer* observer)
     : simulator_(simulator),
       params_(params),
       blocks_(
@@ -17,7 +18,17 @@ FmtcpSender::FmtcpSender(sim::Simulator& simulator, const FmtcpParams& params,
             if (delays != nullptr) delays->record(id, delay);
           },
           source),
-      allocator_(*this, params.allocation) {}
+      allocator_(*this, params.allocation),
+      obs_(observer) {
+  if (obs_ != nullptr) {
+    obs_allocations_ = obs_->metrics.counter("fmtcp.allocations");
+    obs_symbols_allocated_ =
+        obs_->metrics.counter("fmtcp.symbols_allocated");
+    obs_eat_error_ms_ = obs_->metrics.histogram(
+        "fmtcp.eat_abs_error_ms",
+        {10, 25, 50, 100, 200, 400, 800, 1600, 3200, 6400});
+  }
+}
 
 void FmtcpSender::register_subflow(tcp::Subflow* subflow) {
   FMTCP_CHECK(subflow != nullptr);
@@ -91,7 +102,25 @@ std::optional<tcp::SegmentContent> FmtcpSender::next_segment(
     std::uint32_t subflow) {
   const std::optional<PacketPlan> plan = allocator_.allocate(subflow);
   if (!plan.has_value()) return std::nullopt;
-  return materialize(*plan, subflow);
+  tcp::SegmentContent content = materialize(*plan, subflow);
+  if (obs_ != nullptr) {
+    obs_allocations_.inc();
+    obs_symbols_allocated_.inc(plan->total_symbols());
+    obs_->timeline.emit(
+        {obs::EventType::kAllocation, subflow, simulator_.now(),
+         plan->entries.empty() ? 0 : plan->entries.front().block,
+         static_cast<double>(plan->total_symbols()),
+         static_cast<double>(plan->entries.size())});
+    // Score the EAT estimate (Eq. 11): predict this segment's arrival
+    // now, check it against the cumulative ACK in on_segment_acked.
+    const SimTime predicted =
+        simulator_.now() + subflows_[subflow]->expected_arrival_time();
+    content.predicted_arrival = predicted;
+    obs_->timeline.emit({obs::EventType::kEatPrediction, subflow,
+                         simulator_.now(), eat_samples_++,
+                         to_seconds(predicted), 0.0});
+  }
+  return content;
 }
 
 std::optional<tcp::SegmentContent> FmtcpSender::retransmit_segment(
@@ -119,6 +148,17 @@ void FmtcpSender::on_segment_acked(std::uint32_t subflow,
                                    std::uint64_t /*seq*/,
                                    const tcp::SegmentContent& content) {
   account_symbols(content, subflow, /*acked=*/true);
+  if (obs_ != nullptr && content.predicted_arrival > 0) {
+    // The ACK confirms arrival one reverse trip after the data landed;
+    // compare prediction against the ACK time (the sender-observable
+    // proxy the paper's EAT feeds back into, §IV-B).
+    const SimTime actual = simulator_.now();
+    obs_->timeline.emit({obs::EventType::kEatOutcome, subflow, actual, 0,
+                         to_seconds(content.predicted_arrival),
+                         to_seconds(actual)});
+    obs_eat_error_ms_.observe(
+        std::abs(to_ms(actual - content.predicted_arrival)));
+  }
   schedule_poke();
 }
 
@@ -140,7 +180,7 @@ void FmtcpSender::on_ack_info(std::uint32_t /*subflow*/,
 void FmtcpSender::schedule_poke() {
   if (poke_pending_) return;
   poke_pending_ = true;
-  simulator_.schedule_in(0, [this] {
+  simulator_.schedule_in(0, "poke", [this] {
     poke_pending_ = false;
     for (tcp::Subflow* subflow : subflows_) {
       subflow->notify_send_opportunity();

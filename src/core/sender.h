@@ -10,6 +10,7 @@
 #include "core/block_manager.h"
 #include "core/params.h"
 #include "metrics/block_stats.h"
+#include "obs/observer.h"
 #include "sim/simulator.h"
 #include "tcp/subflow.h"
 
@@ -21,9 +22,12 @@ class FmtcpSender final : public tcp::SegmentProvider, public AllocatorEnv {
   /// block (sender-measured: first symbol sent → decode ACK, §V).
   /// `source` may be null (deterministic payloads); when set, block
   /// payloads come from the application (see core/stream.h).
+  /// `observer` may be null; when set, allocation decisions and EAT
+  /// prediction/outcome pairs land on its timeline and fmtcp.* metrics.
   FmtcpSender(sim::Simulator& simulator, const FmtcpParams& params,
               metrics::BlockDelayRecorder* delays = nullptr,
-              BlockSource* source = nullptr);
+              BlockSource* source = nullptr,
+              obs::Observer* observer = nullptr);
 
   /// The application produced new data (the BlockSource can now build
   /// more blocks): re-offers send opportunities to every subflow.
@@ -83,6 +87,13 @@ class FmtcpSender final : public tcp::SegmentProvider, public AllocatorEnv {
   Allocator allocator_;
   std::vector<tcp::Subflow*> subflows_;
   bool poke_pending_ = false;
+
+  // Observability (no-ops when obs_ is null).
+  obs::Observer* obs_ = nullptr;
+  std::uint64_t eat_samples_ = 0;
+  obs::Counter obs_allocations_;
+  obs::Counter obs_symbols_allocated_;
+  obs::Histogram obs_eat_error_ms_;
 };
 
 }  // namespace fmtcp::core

@@ -1,5 +1,7 @@
 #include "harness/runner.h"
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "baselines/fixed_rate.h"
@@ -41,6 +43,49 @@ void collect_common(const metrics::GoodputMeter& goodput,
   result.block_delays_ms = delays.delays_ms_in_order();
 }
 
+/// Runs the event loop for scenario.duration. With an observer, pauses
+/// at each sim-second boundary to emit a kSimProgress record pairing
+/// wall-clock cost with events executed — the event-loop profile.
+void run_clock(sim::Simulator& simulator, const Scenario& scenario) {
+  obs::Observer* obs = scenario.observer;
+  if (obs == nullptr) {
+    simulator.run_until(scenario.duration);
+    return;
+  }
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t last_events = simulator.scheduler().executed_count();
+  Clock::time_point last_wall = Clock::now();
+  std::uint64_t second = 0;
+  SimTime t = std::min<SimTime>(kSecond, scenario.duration);
+  while (true) {
+    simulator.run_until(t);
+    const Clock::time_point wall = Clock::now();
+    const std::uint64_t events = simulator.scheduler().executed_count();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(wall - last_wall)
+            .count();
+    obs->timeline.emit({obs::EventType::kSimProgress, 0, simulator.now(),
+                        second++, wall_ms,
+                        static_cast<double>(events - last_events)});
+    last_events = events;
+    last_wall = wall;
+    if (t >= scenario.duration) break;
+    t = std::min<SimTime>(t + kSecond, scenario.duration);
+  }
+}
+
+/// Copies the scheduler's per-tag dispatch counts into sim.events.*
+/// counters so --metrics-json captures the event-loop profile.
+void export_dispatch_profile(sim::Simulator& simulator,
+                             const Scenario& scenario) {
+  if (scenario.observer == nullptr) return;
+  for (const auto& [tag, count] :
+       simulator.scheduler().dispatch_profile()) {
+    scenario.observer->metrics.counter("sim.events." + tag).inc(count);
+  }
+  scenario.observer->timeline.flush();
+}
+
 net::Topology build_topology(sim::Simulator& simulator,
                              const Scenario& scenario) {
   net::Topology topology(
@@ -79,6 +124,7 @@ RunResult run_scenario(Protocol protocol, const Scenario& scenario,
 
   RunResult result;
   result.protocol = protocol;
+  const auto wall_start = std::chrono::steady_clock::now();
 
   switch (protocol) {
     case Protocol::kFmtcp: {
@@ -89,9 +135,10 @@ RunResult run_scenario(Protocol protocol, const Scenario& scenario,
       config.receiver.delayed_acks = options.delayed_acks;
       config.use_lia = options.fmtcp_use_lia;
       config.goodput_bin = options.goodput_bin;
+      config.observer = scenario.observer;
       core::FmtcpConnection connection(simulator, topology, config);
       connection.start();
-      simulator.run_until(scenario.duration);
+      run_clock(simulator, scenario);
       collect_common(connection.goodput(), connection.block_delays(),
                      scenario, result);
       for (std::size_t i = 0; i < connection.subflow_count(); ++i) {
@@ -115,9 +162,10 @@ RunResult run_scenario(Protocol protocol, const Scenario& scenario,
       config.receive_buffer_bytes = options.mptcp_receive_buffer;
       config.use_lia = options.mptcp_use_lia;
       config.goodput_bin = options.goodput_bin;
+      config.observer = scenario.observer;
       mptcp::MptcpConnection connection(simulator, topology, config);
       connection.start();
-      simulator.run_until(scenario.duration);
+      run_clock(simulator, scenario);
       collect_common(connection.goodput(), connection.block_delays(),
                      scenario, result);
       for (std::size_t i = 0; i < connection.subflow_count(); ++i) {
@@ -130,10 +178,11 @@ RunResult run_scenario(Protocol protocol, const Scenario& scenario,
       baselines::HmtpConnectionConfig config;
       config.params = options.fmtcp;
       config.subflow = options.subflow;
+      config.subflow.observer = scenario.observer;
       config.goodput_bin = options.goodput_bin;
       baselines::HmtpConnection connection(simulator, topology, config);
       connection.start();
-      simulator.run_until(scenario.duration);
+      run_clock(simulator, scenario);
       collect_common(connection.goodput(), connection.block_delays(),
                      scenario, result);
       collect_subflow(connection.subflow(0), result);
@@ -149,11 +198,12 @@ RunResult run_scenario(Protocol protocol, const Scenario& scenario,
       baselines::FixedRateConnectionConfig config;
       config.params = options.fixed_rate;
       config.subflow = options.subflow;
+      config.subflow.observer = scenario.observer;
       config.goodput_bin = options.goodput_bin;
       baselines::FixedRateConnection connection(simulator, topology,
                                                 config);
       connection.start();
-      simulator.run_until(scenario.duration);
+      run_clock(simulator, scenario);
       collect_common(connection.goodput(), connection.block_delays(),
                      scenario, result);
       result.redundant_symbols = connection.receiver().redundant_symbols();
@@ -161,6 +211,12 @@ RunResult run_scenario(Protocol protocol, const Scenario& scenario,
       break;
     }
   }
+  result.sim_events = simulator.scheduler().executed_count();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  export_dispatch_profile(simulator, scenario);
   return result;
 }
 

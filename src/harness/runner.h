@@ -41,6 +41,10 @@ struct RunResult {
   std::uint64_t symbols_sent = 0;       ///< Coded protocols only.
   bool payload_ok = true;
 
+  // Event-loop profile (always filled; cheap).
+  std::uint64_t sim_events = 0;  ///< Scheduler events executed.
+  double wall_seconds = 0.0;     ///< Wall-clock time for the whole run.
+
   /// Coding overhead: symbols sent per source symbol delivered, minus 1.
   /// 0 for MPTCP.
   double coding_overhead(std::uint32_t block_symbols) const;

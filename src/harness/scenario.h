@@ -11,6 +11,7 @@
 #include "net/loss_model.h"
 #include "net/path.h"
 #include "net/trace.h"
+#include "obs/observer.h"
 #include "tcp/subflow.h"
 
 namespace fmtcp::harness {
@@ -43,6 +44,12 @@ struct Scenario {
   /// Optional packet tracer (not owned) attached to every link: forward
   /// links get ids 2*path, reverse links 2*path+1.
   net::PacketTracer* tracer = nullptr;
+
+  /// Optional observability sink (not owned): metrics and timeline
+  /// events from every layer of the run, plus per-sim-second event-loop
+  /// progress records and a scheduler dispatch profile (sim.events.*
+  /// counters). Null = off, with near-zero overhead.
+  obs::Observer* observer = nullptr;
 
   net::PathConfig path_config(const PathSpec& spec) const;
 };

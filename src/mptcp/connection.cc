@@ -9,13 +9,14 @@ MptcpConnection::MptcpConnection(sim::Simulator& simulator,
                                  const MptcpConnectionConfig& config)
     : goodput_(config.goodput_bin) {
   if (config.use_lia) lia_group_ = std::make_unique<tcp::LiaGroup>();
-  sender_ =
-      std::make_unique<MptcpSender>(simulator, config.sender, &delays_);
+  sender_ = std::make_unique<MptcpSender>(simulator, config.sender, &delays_,
+                                          config.observer);
   receiver_ = std::make_unique<MptcpReceiver>(
       simulator, config.receive_buffer_bytes, &goodput_);
 
   tcp::WiringOptions options;
   options.subflow = config.subflow;
+  options.subflow.observer = config.observer;
   options.subflow.mss_payload = config.sender.segment_bytes;
   options.receiver = config.receiver;
   options.fresh_payload_on_retransmit = false;

@@ -9,6 +9,7 @@
 #include "mptcp/receiver.h"
 #include "mptcp/sender.h"
 #include "net/topology.h"
+#include "obs/observer.h"
 #include "sim/simulator.h"
 #include "tcp/congestion.h"
 #include "tcp/subflow.h"
@@ -26,6 +27,9 @@ struct MptcpConnectionConfig {
   bool use_lia = false;
   bool seed_loss_hint = true;
   SimTime goodput_bin = kSecond;
+  /// Observability sink (not owned; null = off). Threaded into the
+  /// sender and every subflow. See obs/observer.h.
+  obs::Observer* observer = nullptr;
 };
 
 class MptcpConnection {

@@ -8,13 +8,21 @@ namespace fmtcp::mptcp {
 
 MptcpSender::MptcpSender(sim::Simulator& simulator,
                          const MptcpSenderConfig& config,
-                         metrics::BlockDelayRecorder* delays)
+                         metrics::BlockDelayRecorder* delays,
+                         obs::Observer* observer)
     : simulator_(simulator),
       config_(config),
       delays_(delays),
-      scheduler_(config.scheduler) {
+      scheduler_(config.scheduler),
+      obs_(observer) {
   FMTCP_CHECK(config.segment_bytes > 0);
   FMTCP_CHECK(config.metric_block_bytes > 0);
+  if (obs_ != nullptr) {
+    obs_grants_ = obs_->metrics.counter("mptcp.scheduler_grants");
+    obs_reinjections_ = obs_->metrics.counter("mptcp.reinjections");
+    obs_window_limited_ =
+        obs_->metrics.counter("mptcp.window_limited_events");
+  }
 }
 
 void MptcpSender::register_subflow(tcp::Subflow* subflow) {
@@ -46,6 +54,12 @@ std::optional<tcp::SegmentContent> MptcpSender::next_segment(
     content.data_len = r.data_len;
     content.payload_bytes = r.data_len;
     ++reinjections_;
+    obs_reinjections_.inc();
+    if (obs_ != nullptr) {
+      obs_->timeline.emit({obs::EventType::kReinjection, subflow,
+                           simulator_.now(), r.data_seq,
+                           static_cast<double>(r.lost_on), 0.0});
+    }
     return content;
   }
 
@@ -64,6 +78,7 @@ std::optional<tcp::SegmentContent> MptcpSender::next_segment(
   const std::uint64_t in_flight = data_next_ - data_acked_;
   if (in_flight + len > peer_window_) {
     ++window_limited_;
+    obs_window_limited_.inc();
     return std::nullopt;
   }
 
@@ -73,6 +88,12 @@ std::optional<tcp::SegmentContent> MptcpSender::next_segment(
   content.data_seq = data_next_;
   content.data_len = len;
   content.payload_bytes = len;
+  obs_grants_.inc();
+  if (obs_ != nullptr) {
+    obs_->timeline.emit({obs::EventType::kSchedulerGrant, subflow,
+                         simulator_.now(), data_next_,
+                         static_cast<double>(len), 0.0});
+  }
   note_block_first_sent(data_next_);
   data_next_ += len;
   return content;
@@ -129,7 +150,7 @@ void MptcpSender::on_ack_info(std::uint32_t /*subflow*/,
 void MptcpSender::schedule_poke() {
   if (poke_pending_) return;
   poke_pending_ = true;
-  simulator_.schedule_in(0, [this] {
+  simulator_.schedule_in(0, "poke", [this] {
     poke_pending_ = false;
     for (tcp::Subflow* subflow : subflows_) {
       subflow->notify_send_opportunity();

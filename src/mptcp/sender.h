@@ -12,6 +12,7 @@
 
 #include "metrics/block_stats.h"
 #include "mptcp/scheduler.h"
+#include "obs/observer.h"
 #include "sim/simulator.h"
 #include "tcp/subflow.h"
 
@@ -38,8 +39,11 @@ class MptcpSender final : public tcp::SegmentProvider {
  public:
   /// `delays` may be null; when set, one sample is recorded per metric
   /// block when the connection-level cumulative ACK passes its end.
+  /// `observer` may be null; when set, scheduler grants and
+  /// reinjections land on its timeline and mptcp.* metrics.
   MptcpSender(sim::Simulator& simulator, const MptcpSenderConfig& config,
-              metrics::BlockDelayRecorder* delays = nullptr);
+              metrics::BlockDelayRecorder* delays = nullptr,
+              obs::Observer* observer = nullptr);
 
   void register_subflow(tcp::Subflow* subflow);
   void start();
@@ -90,6 +94,12 @@ class MptcpSender final : public tcp::SegmentProvider {
   };
   /// Lost ranges awaiting reinjection on another subflow (FIFO).
   std::deque<Reinjection> reinjection_queue_;
+
+  // Observability (no-ops when obs_ is null).
+  obs::Observer* obs_ = nullptr;
+  obs::Counter obs_grants_;
+  obs::Counter obs_reinjections_;
+  obs::Counter obs_window_limited_;
 };
 
 }  // namespace fmtcp::mptcp

@@ -74,7 +74,7 @@ void Link::start_transmission() {
   Packet p = queue_->pop();
   const SimTime ser = serialization_time(p.size_bytes);
   simulator_.schedule_in(
-      ser, [this, p = std::move(p)]() mutable {
+      ser, "link.serialize", [this, p = std::move(p)]() mutable {
         busy_ = false;
         const bool dropped =
             loss_ != nullptr && loss_->should_drop(simulator_.now(), rng_);
@@ -87,7 +87,7 @@ void Link::start_transmission() {
             delay += from_seconds(rng_.exponential(
                 to_seconds(config_.prop_jitter_mean)));
           }
-          simulator_.schedule_in(delay,
+          simulator_.schedule_in(delay, "link.deliver",
                                  [this, p = std::move(p)]() mutable {
                                    ++delivered_;
                                    trace(TraceEvent::kDeliver, p);

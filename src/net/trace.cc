@@ -1,5 +1,8 @@
 #include "net/trace.h"
 
+#include <cerrno>
+#include <cstring>
+
 #include "common/check.h"
 
 namespace fmtcp::net {
@@ -34,6 +37,12 @@ std::uint64_t CountingTracer::total() const {
 
 CsvTracer::CsvTracer(const std::string& path)
     : file_(std::fopen(path.c_str(), "w")) {
+  if (file_ == nullptr) {
+    // Name the path and the reason before aborting — a bare CHECK line
+    // is useless to someone who mistyped --trace.
+    std::fprintf(stderr, "trace: cannot open '%s' for writing: %s\n",
+                 path.c_str(), std::strerror(errno));
+  }
   FMTCP_CHECK(file_ != nullptr);
   std::fprintf(file_,
                "time_s,event,link,uid,kind,subflow,seq,size_bytes,"
@@ -41,7 +50,10 @@ CsvTracer::CsvTracer(const std::string& path)
 }
 
 CsvTracer::~CsvTracer() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
 }
 
 void CsvTracer::on_packet(TraceEvent event, SimTime when,

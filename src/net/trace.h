@@ -49,7 +49,9 @@ class CountingTracer final : public PacketTracer {
 ///   time_s,event,link,uid,kind,subflow,seq,size_bytes,data_seq,symbols
 class CsvTracer final : public PacketTracer {
  public:
-  /// Opens (truncates) `path`; aborts if it cannot be opened.
+  /// Opens (truncates) `path`; fails the run loudly (message naming the
+  /// path and errno, then FMTCP_CHECK) if it cannot be opened. Rows are
+  /// flushed on destruction.
   explicit CsvTracer(const std::string& path);
   ~CsvTracer() override;
   CsvTracer(const CsvTracer&) = delete;

@@ -1,0 +1,119 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace fmtcp::obs {
+
+namespace {
+
+/// Formats a double the way the rest of the repo's JSON output does:
+/// shortest round-trippable representation via %.17g is overkill for
+/// metrics; %.9g keeps files readable and is exact for counters.
+std::string json_double(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  return buffer;
+}
+
+}  // namespace
+
+void Histogram::observe(double v) {
+  if (slot_ == nullptr) return;
+  std::size_t i = 0;
+  while (i < slot_->bounds.size() && v > slot_->bounds[i]) ++i;
+  ++slot_->counts[i];
+  ++slot_->count;
+  slot_->sum += v;
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counter_slots_.push_back(0);
+    it = counters_.emplace(name, &counter_slots_.back()).first;
+  }
+  return Counter(it->second);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauge_slots_.push_back(0.0);
+    it = gauges_.emplace(name, &gauge_slots_.back()).first;
+  }
+  return Gauge(it->second);
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     std::vector<double> upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    for (std::size_t i = 1; i < upper_bounds.size(); ++i) {
+      FMTCP_CHECK(upper_bounds[i - 1] < upper_bounds[i]);
+    }
+    Histogram::Slot slot;
+    slot.counts.assign(upper_bounds.size() + 1, 0);
+    slot.bounds = std::move(upper_bounds);
+    histogram_slots_.push_back(std::move(slot));
+    it = histograms_.emplace(name, &histogram_slots_.back()).first;
+  }
+  return Histogram(it->second);
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : *it->second;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : *it->second;
+}
+
+std::vector<std::uint64_t> MetricsRegistry::histogram_counts(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) return {};
+  return it->second->counts;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, slot] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(*slot);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, slot] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + json_double(*slot);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, slot] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < slot->bounds.size(); ++i) {
+      if (i > 0) out += ',';
+      out += json_double(slot->bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < slot->counts.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(slot->counts[i]);
+    }
+    out += "],\"count\":" + std::to_string(slot->count) +
+           ",\"sum\":" + json_double(slot->sum) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace fmtcp::obs

@@ -1,0 +1,114 @@
+// Run-scoped metrics registry: named counters, gauges, and fixed-bucket
+// histograms, cheap enough to leave on in benches.
+//
+// Names are resolved to handles once, at registration; the hot path is a
+// single pointer-indirected add/set with no map lookup. Handles are
+// null-safe: a default-constructed handle (no registry) makes every
+// operation a no-op, so instrumented components can update metrics
+// unconditionally whether or not a run attached an Observer.
+//
+// Registration is idempotent per name: asking twice for "tcp.rto_fires"
+// returns handles backed by the same slot, so per-subflow components can
+// share connection-wide totals without extra wiring.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fmtcp::obs {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) {
+    if (slot_ != nullptr) *slot_ += n;
+  }
+  std::uint64_t value() const { return slot_ == nullptr ? 0 : *slot_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::uint64_t* slot) : slot_(slot) {}
+  std::uint64_t* slot_ = nullptr;
+};
+
+/// Last-value-wins floating-point metric.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) {
+    if (slot_ != nullptr) *slot_ = v;
+  }
+  double value() const { return slot_ == nullptr ? 0.0 : *slot_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(double* slot) : slot_(slot) {}
+  double* slot_ = nullptr;
+};
+
+/// Fixed-bucket histogram: bucket i counts samples <= bound[i]; one
+/// implicit overflow bucket catches the rest. Sum and count are kept for
+/// the mean.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v);
+
+ private:
+  friend class MetricsRegistry;
+  struct Slot {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries.
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  explicit Histogram(Slot* slot) : slot_(slot) {}
+  Slot* slot_ = nullptr;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns a handle to the named metric, creating the slot on first
+  /// use. Handles stay valid for the registry's lifetime.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  /// `upper_bounds` must be strictly increasing; subsequent calls with
+  /// the same name ignore the bounds and reuse the first registration.
+  Histogram histogram(const std::string& name,
+                      std::vector<double> upper_bounds);
+
+  // --- Read side (tests, exporters) ---
+  std::uint64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+  /// Bucket counts (bounds.size() + 1 entries); empty if unknown.
+  std::vector<std::uint64_t> histogram_counts(const std::string& name) const;
+
+  std::size_t metric_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Serializes every metric:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"name":{"bounds":[...],"counts":[...],
+  ///                          "count":N,"sum":S}}}
+  std::string to_json() const;
+
+ private:
+  // Deques give stable slot addresses as metrics are added.
+  std::map<std::string, std::uint64_t*> counters_;
+  std::map<std::string, double*> gauges_;
+  std::map<std::string, Histogram::Slot*> histograms_;
+  std::deque<std::uint64_t> counter_slots_;
+  std::deque<double> gauge_slots_;
+  std::deque<Histogram::Slot> histogram_slots_;
+};
+
+}  // namespace fmtcp::obs

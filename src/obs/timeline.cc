@@ -1,0 +1,118 @@
+#include "obs/timeline.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace fmtcp::obs {
+
+const char* event_type_name(EventType type) {
+  switch (type) {
+    case EventType::kCwndChange:
+      return "cwnd_change";
+    case EventType::kRtoFired:
+      return "rto_fired";
+    case EventType::kFastRetransmit:
+      return "fast_retransmit";
+    case EventType::kRankProgress:
+      return "rank_progress";
+    case EventType::kRedundantSymbol:
+      return "redundant_symbol";
+    case EventType::kBlockDecoded:
+      return "block_decoded";
+    case EventType::kBlockDelivered:
+      return "block_delivered";
+    case EventType::kEatPrediction:
+      return "eat_prediction";
+    case EventType::kEatOutcome:
+      return "eat_outcome";
+    case EventType::kAllocation:
+      return "allocation";
+    case EventType::kSchedulerGrant:
+      return "scheduler_grant";
+    case EventType::kReinjection:
+      return "reinjection";
+    case EventType::kSimProgress:
+      return "sim_progress";
+  }
+  return "?";
+}
+
+// Every record serializes with the same uniform keys so one parser reads
+// every type; the per-type meaning of sf/id/a/b is documented on
+// EventType. Example line:
+//   {"ev":"cwnd_change","t":1.234000000,"sf":1,"id":0,"a":12.5,"b":64}
+std::string to_jsonl(const TimelineEvent& event) {
+  char buffer[192];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"ev\":\"%s\",\"t\":%.9f,\"sf\":%u,\"id\":%llu,"
+                "\"a\":%.9g,\"b\":%.9g}",
+                event_type_name(event.type), to_seconds(event.t),
+                event.subflow, static_cast<unsigned long long>(event.id),
+                event.a, event.b);
+  return buffer;
+}
+
+EventTimeline::EventTimeline(std::size_t ring_capacity)
+    : capacity_(ring_capacity) {
+  FMTCP_CHECK(capacity_ > 0);
+  ring_.reserve(capacity_);
+}
+
+EventTimeline::~EventTimeline() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void EventTimeline::open_jsonl(const std::string& path) {
+  FMTCP_CHECK(file_ == nullptr);
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "timeline: cannot open '%s' for writing: %s\n",
+                 path.c_str(), std::strerror(errno));
+    FMTCP_CHECK(file_ != nullptr);
+  }
+}
+
+void EventTimeline::emit(const TimelineEvent& event) {
+  ++emitted_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+  }
+  if (file_ != nullptr) {
+    const std::string line = to_jsonl(event);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+  }
+}
+
+std::vector<TimelineEvent> EventTimeline::recent() const {
+  std::vector<TimelineEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    out.insert(out.end(), ring_.begin() + static_cast<long>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<long>(next_));
+  }
+  return out;
+}
+
+std::vector<TimelineEvent> EventTimeline::recent(EventType type) const {
+  std::vector<TimelineEvent> out;
+  for (const TimelineEvent& event : recent()) {
+    if (event.type == type) out.push_back(event);
+  }
+  return out;
+}
+
+void EventTimeline::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+}  // namespace fmtcp::obs

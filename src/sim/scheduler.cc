@@ -14,17 +14,40 @@ bool EventHandle::pending() const {
   return state_ && !state_->cancelled && !state_->fired;
 }
 
-EventHandle Scheduler::schedule_at(SimTime when, std::function<void()> fn) {
+EventHandle Scheduler::schedule_at(SimTime when, const char* tag,
+                                   std::function<void()> fn) {
   FMTCP_CHECK(when >= now_);
   FMTCP_CHECK(fn != nullptr);
+  FMTCP_CHECK(tag != nullptr);
   auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Entry{when, next_seq_++, std::move(fn), state});
+  queue_.push(Entry{when, next_seq_++, tag, std::move(fn), state});
   return EventHandle(std::move(state));
 }
 
-EventHandle Scheduler::schedule_in(SimTime delay, std::function<void()> fn) {
+EventHandle Scheduler::schedule_in(SimTime delay, const char* tag,
+                                   std::function<void()> fn) {
   FMTCP_CHECK(delay >= 0);
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, tag, std::move(fn));
+}
+
+void Scheduler::note_executed(const char* tag) {
+  for (auto& [known, count] : executed_by_tag_) {
+    if (known == tag) {
+      ++count;
+      return;
+    }
+  }
+  executed_by_tag_.emplace_back(tag, 1);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+Scheduler::dispatch_profile() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(executed_by_tag_.size());
+  for (const auto& [tag, count] : executed_by_tag_) {
+    out.emplace_back(tag, count);
+  }
+  return out;
 }
 
 bool Scheduler::step() {
@@ -38,6 +61,7 @@ bool Scheduler::step() {
     now_ = entry.when;
     entry.state->fired = true;
     ++executed_;
+    note_executed(entry.tag);
     entry.fn();
     return true;
   }

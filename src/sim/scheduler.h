@@ -9,6 +9,8 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/time.h"
@@ -48,10 +50,22 @@ class Scheduler {
   SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `when` (>= now()).
-  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  /// `tag` labels the event for the dispatch profile; it must be a
+  /// string literal (or otherwise outlive the scheduler) — profiling
+  /// keys on the pointer, not the contents. Untagged events count as
+  /// "event".
+  EventHandle schedule_at(SimTime when, std::function<void()> fn) {
+    return schedule_at(when, kDefaultTag, std::move(fn));
+  }
+  EventHandle schedule_at(SimTime when, const char* tag,
+                          std::function<void()> fn);
 
   /// Schedules `fn` to run `delay` (>= 0) after now().
-  EventHandle schedule_in(SimTime delay, std::function<void()> fn);
+  EventHandle schedule_in(SimTime delay, std::function<void()> fn) {
+    return schedule_in(delay, kDefaultTag, std::move(fn));
+  }
+  EventHandle schedule_in(SimTime delay, const char* tag,
+                          std::function<void()> fn);
 
   /// Runs the next non-cancelled event; returns false if the queue is
   /// empty. Advances now() to the event's time before invoking it.
@@ -71,10 +85,17 @@ class Scheduler {
   /// Events currently queued, including lazily-cancelled ones.
   std::size_t queued_count() const { return queue_.size(); }
 
+  /// Executed-event counts per schedule tag (event-loop profiling).
+  std::vector<std::pair<std::string, std::uint64_t>> dispatch_profile()
+      const;
+
  private:
+  static constexpr const char* kDefaultTag = "event";
+
   struct Entry {
     SimTime when;
     std::uint64_t seq;
+    const char* tag;
     std::function<void()> fn;
     std::shared_ptr<EventHandle::State> state;
   };
@@ -85,9 +106,14 @@ class Scheduler {
     }
   };
 
+  void note_executed(const char* tag);
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  /// Per-tag executed counts, keyed by tag pointer (string literals);
+  /// a handful of entries, scanned linearly on each dispatch.
+  std::vector<std::pair<const char*, std::uint64_t>> executed_by_tag_;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 

@@ -27,6 +27,16 @@ class Simulator {
   EventHandle schedule_in(SimTime delay, std::function<void()> fn) {
     return scheduler_.schedule_in(delay, std::move(fn));
   }
+  /// Tagged variants label the event for the dispatch profile
+  /// (`tag` must outlive the run; use a string literal).
+  EventHandle schedule_at(SimTime when, const char* tag,
+                          std::function<void()> fn) {
+    return scheduler_.schedule_at(when, tag, std::move(fn));
+  }
+  EventHandle schedule_in(SimTime delay, const char* tag,
+                          std::function<void()> fn) {
+    return scheduler_.schedule_in(delay, tag, std::move(fn));
+  }
 
   void run_until(SimTime deadline) { scheduler_.run_until(deadline); }
   void run() { scheduler_.run(); }

@@ -20,7 +20,7 @@ void Timer::schedule(SimTime delay) {
 void Timer::schedule_at(SimTime when) {
   cancel();
   expiry_ = when;
-  handle_ = simulator_.schedule_at(when, [this] { fire(); });
+  handle_ = simulator_.schedule_at(when, "timer", [this] { fire(); });
 }
 
 void Timer::cancel() {

@@ -1,6 +1,7 @@
 #include "tcp/subflow.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/check.h"
@@ -36,8 +37,28 @@ Subflow::Subflow(sim::Simulator& simulator, const SubflowConfig& config,
       provider_(provider),
       cc_(cc ? std::move(cc) : make_default_cc(simulator, config)),
       rtt_(config.rtt),
-      rto_timer_(simulator, [this] { on_rto(); }) {
+      rto_timer_(simulator, [this] { on_rto(); }),
+      obs_(config.observer) {
   FMTCP_CHECK(config_.mss_payload > 0);
+  if (obs_ != nullptr) {
+    obs_segments_ = obs_->metrics.counter("tcp.segments_sent");
+    obs_retransmissions_ = obs_->metrics.counter("tcp.retransmissions");
+    obs_rtos_ = obs_->metrics.counter("tcp.rto_fires");
+    obs_fast_retransmits_ = obs_->metrics.counter("tcp.fast_retransmits");
+    obs_rtt_ms_ = obs_->metrics.histogram(
+        "tcp.rtt_ms",
+        {50, 100, 150, 200, 250, 300, 400, 600, 800, 1200, 1600, 3200});
+    note_cwnd(/*force=*/true);  // Record the initial window.
+  }
+}
+
+void Subflow::note_cwnd(bool force) {
+  if (obs_ == nullptr) return;
+  const double cwnd = cc_->cwnd();
+  if (!force && std::abs(cwnd - last_emitted_cwnd_) < 1.0) return;
+  last_emitted_cwnd_ = cwnd;
+  obs_->timeline.emit({obs::EventType::kCwndChange, config_.id,
+                       simulator_.now(), 0, cwnd, cc_->ssthresh()});
 }
 
 std::uint64_t Subflow::window_space() const {
@@ -105,7 +126,9 @@ void Subflow::on_ack_packet(net::Packet ack) {
   provider_.on_ack_info(config_.id, ack);
 
   if (ack.echo_sent_at > 0) {
-    rtt_.add_sample(simulator_.now() - ack.echo_sent_at);
+    const SimTime sample = simulator_.now() - ack.echo_sent_at;
+    rtt_.add_sample(sample);
+    obs_rtt_ms_.observe(to_ms(sample));
     if (auto* lia = dynamic_cast<LiaCc*>(cc_.get())) {
       lia->set_rtt(rtt_.srtt());
     }
@@ -142,6 +165,7 @@ void Subflow::on_ack_packet(net::Packet ack) {
     } else {
       dup_acks_ = 0;
       cc_->on_ack(newly);
+      note_cwnd(/*force=*/false);
     }
 
     if (gbn_active_) {
@@ -162,6 +186,13 @@ void Subflow::on_ack_packet(net::Packet ack) {
       recover_seq_ = snd_next_;
       cc_->on_fast_retransmit();
       ++fast_retransmits_;
+      obs_fast_retransmits_.inc();
+      if (obs_ != nullptr) {
+        obs_->timeline.emit({obs::EventType::kFastRetransmit, config_.id,
+                             simulator_.now(), snd_una_, cc_->cwnd(),
+                             cc_->ssthresh()});
+      }
+      note_cwnd(/*force=*/true);
       FMTCP_LOG(LogLevel::kDebug, simulator_.now(), kModule,
                 "sf%u fast retransmit seq=%llu cwnd=%.1f", config_.id,
                 static_cast<unsigned long long>(snd_una_), cc_->cwnd());
@@ -233,6 +264,7 @@ void Subflow::send_new_segment(SegmentContent content) {
   out.last_sent = simulator_.now();
   outstanding_.emplace(seq, std::move(out));
   ++segments_sent_;
+  obs_segments_.inc();
   out_.send(std::move(p));
   arm_timer_if_needed();
 }
@@ -263,6 +295,7 @@ void Subflow::retransmit(std::uint64_t seq) {
   it->second.last_sent = simulator_.now();
   it->second.retransmitted = true;
   ++retransmissions_;
+  obs_retransmissions_.inc();
   out_.send(std::move(p));
   rto_timer_.schedule(rto());
 }
@@ -306,6 +339,13 @@ bool Subflow::sack_retransmit_holes() {
       recover_seq_ = snd_next_;
       cc_->on_fast_retransmit();
       ++fast_retransmits_;
+      obs_fast_retransmits_.inc();
+      if (obs_ != nullptr) {
+        obs_->timeline.emit({obs::EventType::kFastRetransmit, config_.id,
+                             simulator_.now(), seq, cc_->cwnd(),
+                             cc_->ssthresh()});
+      }
+      note_cwnd(/*force=*/true);
     }
     if (!resent || window_space() > 0) {
       it->second.sack_retransmitted = true;
@@ -319,11 +359,18 @@ bool Subflow::sack_retransmit_holes() {
 void Subflow::on_rto() {
   if (outstanding_.empty()) return;
   ++timeouts_;
+  obs_rtos_.inc();
   FMTCP_LOG(LogLevel::kDebug, simulator_.now(), kModule,
             "sf%u RTO seq=%llu rto=%.3fs", config_.id,
             static_cast<unsigned long long>(snd_una_),
             to_seconds(rto()));
   cc_->on_timeout();
+  if (obs_ != nullptr) {
+    obs_->timeline.emit({obs::EventType::kRtoFired, config_.id,
+                         simulator_.now(), snd_una_, to_seconds(rto()),
+                         cc_->cwnd()});
+  }
+  note_cwnd(/*force=*/true);
   rtt_.backoff();
   in_recovery_ = false;
   dup_acks_ = 0;

@@ -22,6 +22,7 @@
 
 #include "net/link.h"
 #include "net/packet.h"
+#include "obs/observer.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
 #include "tcp/congestion.h"
@@ -37,6 +38,10 @@ struct SegmentContent {
   std::uint32_t data_len = 0;
   /// Wire payload bytes (excluding the kHeaderBytes header).
   std::size_t payload_bytes = 0;
+  /// Absolute arrival time the provider predicted when it filled this
+  /// segment (0 = no prediction). Opaque to the subflow; echoed back in
+  /// on_segment_acked so providers can score their EAT estimates.
+  SimTime predicted_arrival = 0;
 };
 
 /// Upper-layer interface a Subflow pulls segments from and reports
@@ -115,6 +120,9 @@ struct SubflowConfig {
   CongestionAlgo congestion = CongestionAlgo::kReno;
   RenoConfig reno;    ///< Used when congestion == kReno.
   CubicConfig cubic;  ///< Used when congestion == kCubic.
+  /// Optional observability sink (not owned): cwnd-change / RTO /
+  /// fast-retransmit timeline events plus tcp.* counters. Null = off.
+  obs::Observer* observer = nullptr;
 };
 
 /// Sender-side subflow endpoint. Attach `on_ack_packet` as the reverse
@@ -194,6 +202,12 @@ class Subflow {
     bool sack_retransmitted = false;
   };
 
+  /// Emits a cwnd-change timeline event when the window moved at least
+  /// one segment since the last emission (or unconditionally on loss
+  /// events, `force`), keeping the timeline proportional to the window
+  /// trajectory rather than to the ACK rate.
+  void note_cwnd(bool force);
+
   void try_send();
   void send_new_segment(SegmentContent content);
   void retransmit(std::uint64_t seq);
@@ -237,6 +251,15 @@ class Subflow {
   std::uint64_t timeouts_ = 0;
   std::uint64_t fast_retransmits_ = 0;
   bool in_try_send_ = false;
+
+  // Observability (all no-ops when config.observer is null).
+  obs::Observer* obs_ = nullptr;
+  double last_emitted_cwnd_ = -1.0;
+  obs::Counter obs_segments_;
+  obs::Counter obs_retransmissions_;
+  obs::Counter obs_rtos_;
+  obs::Counter obs_fast_retransmits_;
+  obs::Histogram obs_rtt_ms_;
 };
 
 /// Receiver-side upper layer: consumes arriving segments and fills

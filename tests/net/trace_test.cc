@@ -85,6 +85,27 @@ TEST(CsvTracer, WritesParseableRows) {
   std::remove(path.c_str());
 }
 
+TEST(CsvTracerDeathTest, UnwritablePathFailsLoudlyWithPath) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(CsvTracer tracer("/nonexistent-dir/trace.csv"),
+               "cannot open '/nonexistent-dir/trace.csv'");
+}
+
+TEST(CsvTracer, RowsOnDiskAfterDestruction) {
+  const std::string path = "/tmp/fmtcp_trace_flush_test.csv";
+  {
+    CsvTracer tracer(path);
+    Packet p = make_packet(8);
+    tracer.on_packet(TraceEvent::kEnqueue, from_ms(1), 0, p);
+  }  // Destructor must flush + close.
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 2u);  // Header + one row.
+  std::remove(path.c_str());
+}
+
 TEST(TraceEventName, AllNamed) {
   EXPECT_STREQ(trace_event_name(TraceEvent::kEnqueue), "enqueue");
   EXPECT_STREQ(trace_event_name(TraceEvent::kQueueDrop), "queue_drop");

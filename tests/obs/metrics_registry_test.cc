@@ -1,0 +1,109 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fmtcp::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterHandlesShareSlotPerName) {
+  MetricsRegistry registry;
+  Counter a = registry.counter("tcp.rto_fires");
+  Counter b = registry.counter("tcp.rto_fires");
+  a.inc();
+  b.inc(4);
+  EXPECT_EQ(registry.counter_value("tcp.rto_fires"), 5u);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 5u);
+}
+
+TEST(MetricsRegistry, HandlesStayValidAsRegistryGrows) {
+  MetricsRegistry registry;
+  Counter first = registry.counter("first");
+  // Force many slot allocations after taking the handle; a vector-backed
+  // registry would invalidate `first` here.
+  for (int i = 0; i < 300; ++i) {
+    registry.counter("c" + std::to_string(i)).inc();
+  }
+  first.inc(7);
+  EXPECT_EQ(registry.counter_value("first"), 7u);
+  EXPECT_EQ(registry.metric_count(), 301u);
+}
+
+TEST(MetricsRegistry, NullHandlesAreNoOps) {
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  counter.inc();
+  gauge.set(3.0);
+  histogram.observe(1.0);  // Must not crash.
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(MetricsRegistry, GaugeLastValueWins) {
+  MetricsRegistry registry;
+  Gauge gauge = registry.gauge("cwnd");
+  gauge.set(1.5);
+  gauge.set(42.0);
+  EXPECT_EQ(registry.gauge_value("cwnd"), 42.0);
+}
+
+TEST(MetricsRegistry, UnknownNamesReadAsZeroOrEmpty) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.counter_value("nope"), 0u);
+  EXPECT_EQ(registry.gauge_value("nope"), 0.0);
+  EXPECT_TRUE(registry.histogram_counts("nope").empty());
+}
+
+TEST(MetricsRegistry, HistogramBucketsAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("rtt_ms", {1.0, 10.0, 100.0});
+  h.observe(0.5);     // <= 1    -> bucket 0
+  h.observe(1.0);     // <= 1    -> bucket 0 (inclusive)
+  h.observe(5.0);     // <= 10   -> bucket 1
+  h.observe(100.0);   // <= 100  -> bucket 2
+  h.observe(1000.0);  // > 100   -> overflow bucket
+  const std::vector<std::uint64_t> counts =
+      registry.histogram_counts("rtt_ms");
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(MetricsRegistry, HistogramReregistrationKeepsFirstBounds) {
+  MetricsRegistry registry;
+  Histogram a = registry.histogram("h", {1.0, 2.0});
+  Histogram b = registry.histogram("h", {100.0});  // Bounds ignored.
+  a.observe(1.5);
+  b.observe(1.5);
+  const std::vector<std::uint64_t> counts = registry.histogram_counts("h");
+  ASSERT_EQ(counts.size(), 3u);  // First registration's 2 bounds + overflow.
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(MetricsRegistry, ToJsonSerializesEveryKind) {
+  MetricsRegistry registry;
+  registry.counter("events").inc(3);
+  registry.gauge("cwnd").set(12.5);
+  registry.histogram("delay", {10.0, 20.0}).observe(15.0);
+  const std::string json = registry.to_json();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"events\":3},"
+            "\"gauges\":{\"cwnd\":12.5},"
+            "\"histograms\":{\"delay\":{\"bounds\":[10,20],"
+            "\"counts\":[0,1,0],\"count\":1,\"sum\":15}}}");
+}
+
+TEST(MetricsRegistry, EmptyRegistryToJson) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+}  // namespace
+}  // namespace fmtcp::obs

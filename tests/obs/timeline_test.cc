@@ -1,0 +1,168 @@
+#include "obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/timeline_summary.h"
+
+namespace fmtcp::obs {
+namespace {
+
+TimelineEvent make_event(EventType type, std::uint64_t id) {
+  TimelineEvent event;
+  event.type = type;
+  event.subflow = 1;
+  event.t = from_ms(static_cast<double>(id));
+  event.id = id;
+  event.a = static_cast<double>(id) * 0.5;
+  event.b = 64.0;
+  return event;
+}
+
+TEST(EventTimeline, RingKeepsNewestEventsOldestFirst) {
+  EventTimeline timeline(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    timeline.emit(make_event(EventType::kCwndChange, i));
+  }
+  EXPECT_EQ(timeline.emitted(), 10u);
+  const std::vector<TimelineEvent> tail = timeline.recent();
+  ASSERT_EQ(tail.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tail[i].id, 6 + i);
+  }
+}
+
+TEST(EventTimeline, RecentFiltersByType) {
+  EventTimeline timeline;
+  timeline.emit(make_event(EventType::kCwndChange, 1));
+  timeline.emit(make_event(EventType::kBlockDecoded, 2));
+  timeline.emit(make_event(EventType::kCwndChange, 3));
+  const auto cwnd = timeline.recent(EventType::kCwndChange);
+  ASSERT_EQ(cwnd.size(), 2u);
+  EXPECT_EQ(cwnd[0].id, 1u);
+  EXPECT_EQ(cwnd[1].id, 3u);
+  EXPECT_EQ(timeline.recent(EventType::kRtoFired).size(), 0u);
+}
+
+TEST(Timeline, EveryEventTypeHasAStableName) {
+  for (int i = 0; i <= static_cast<int>(EventType::kSimProgress); ++i) {
+    EXPECT_STRNE(event_type_name(static_cast<EventType>(i)), "?");
+  }
+}
+
+TEST(Timeline, JsonlRoundTripsEveryField) {
+  TimelineEvent event;
+  event.type = EventType::kRtoFired;
+  event.subflow = 2;
+  event.t = from_seconds(1.25);
+  event.id = 123456789ULL;
+  event.a = 0.75;
+  event.b = 12.5;
+
+  TimelineEvent parsed;
+  ASSERT_TRUE(parse_jsonl_line(to_jsonl(event), parsed));
+  EXPECT_EQ(parsed.type, EventType::kRtoFired);
+  EXPECT_EQ(parsed.subflow, 2u);
+  EXPECT_NEAR(to_seconds(parsed.t), 1.25, 1e-9);
+  EXPECT_EQ(parsed.id, 123456789ULL);
+  EXPECT_DOUBLE_EQ(parsed.a, 0.75);
+  EXPECT_DOUBLE_EQ(parsed.b, 12.5);
+}
+
+TEST(Timeline, JsonlRoundTripsEveryType) {
+  for (int i = 0; i <= static_cast<int>(EventType::kSimProgress); ++i) {
+    const TimelineEvent event =
+        make_event(static_cast<EventType>(i), static_cast<std::uint64_t>(i));
+    TimelineEvent parsed;
+    ASSERT_TRUE(parse_jsonl_line(to_jsonl(event), parsed))
+        << to_jsonl(event);
+    EXPECT_EQ(parsed.type, event.type);
+    EXPECT_EQ(parsed.id, event.id);
+  }
+}
+
+TEST(Timeline, MalformedLinesAreRejected) {
+  TimelineEvent event;
+  EXPECT_FALSE(parse_jsonl_line("", event));
+  EXPECT_FALSE(parse_jsonl_line("not json", event));
+  EXPECT_FALSE(parse_jsonl_line("{\"ev\":\"no_such_event\",\"t\":1}", event));
+  EXPECT_FALSE(parse_jsonl_line("{\"ev\":\"cwnd_change\"}", event));
+}
+
+TEST(EventTimeline, JsonlFileSinkWritesOneParseableLinePerEvent) {
+  const std::string path = "/tmp/fmtcp_timeline_test.jsonl";
+  {
+    EventTimeline timeline;
+    timeline.open_jsonl(path);
+    timeline.emit(make_event(EventType::kCwndChange, 0));
+    timeline.emit(make_event(EventType::kBlockDecoded, 1));
+    timeline.flush();
+    std::ifstream in(path);
+    std::string line;
+    std::size_t lines = 0;
+    TimelineEvent parsed;
+    while (std::getline(in, line)) {
+      EXPECT_TRUE(parse_jsonl_line(line, parsed)) << line;
+      ++lines;
+    }
+    EXPECT_EQ(lines, 2u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EventTimelineDeathTest, UnwritablePathFailsLoudlyWithPath) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        EventTimeline timeline;
+        timeline.open_jsonl("/nonexistent-dir/timeline.jsonl");
+      },
+      "cannot open '/nonexistent-dir/timeline.jsonl'");
+}
+
+TEST(TimelineSummary, AggregatesPerSubflowAndPerBlock) {
+  std::string lines;
+  lines += to_jsonl({EventType::kCwndChange, 0, from_seconds(0.1), 0, 2.0,
+                     64.0}) + "\n";
+  lines += to_jsonl({EventType::kCwndChange, 0, from_seconds(0.5), 0, 6.0,
+                     64.0}) + "\n";
+  lines += to_jsonl({EventType::kRtoFired, 1, from_seconds(1.0), 7, 0.4,
+                     1.0}) + "\n";
+  lines += to_jsonl({EventType::kBlockDecoded, 0, from_seconds(1.5), 3,
+                     66.0, 2.0}) + "\n";
+  lines += to_jsonl({EventType::kBlockDecoded, 1, from_seconds(2.0), 4,
+                     70.0, 6.0}) + "\n";
+  lines += to_jsonl({EventType::kEatOutcome, 1, from_seconds(2.5), 0, 2.0,
+                     2.5}) + "\n";
+  lines += "garbage line\n";
+
+  std::istringstream in(lines);
+  const TimelineSummary summary = summarize_timeline(in);
+  EXPECT_EQ(summary.total_events, 6u);
+  EXPECT_EQ(summary.malformed_lines, 1u);
+  EXPECT_EQ(summary.per_type.at("cwnd_change"), 2u);
+  EXPECT_EQ(summary.per_subflow.at(0).cwnd_changes, 2u);
+  EXPECT_EQ(summary.per_subflow.at(0).min_cwnd, 2.0);
+  EXPECT_EQ(summary.per_subflow.at(0).max_cwnd, 6.0);
+  EXPECT_EQ(summary.per_subflow.at(1).rto_fires, 1u);
+  EXPECT_EQ(summary.blocks_decoded, 2u);
+  EXPECT_DOUBLE_EQ(summary.mean_symbols_per_block, 68.0);
+  EXPECT_NEAR(summary.first_decode_s, 1.5, 1e-9);
+  EXPECT_NEAR(summary.last_decode_s, 2.0, 1e-9);
+  EXPECT_NEAR(summary.per_subflow.at(1).mean_abs_eat_error_s, 0.5, 1e-9);
+  EXPECT_NEAR(summary.first_event_s, 0.1, 1e-9);
+  EXPECT_NEAR(summary.last_event_s, 2.5, 1e-9);
+
+  const std::string report = format_timeline_summary(summary);
+  EXPECT_NE(report.find("cwnd_change"), std::string::npos);
+  EXPECT_NE(report.find("malformed"), std::string::npos);
+  EXPECT_NE(report.find("blocks: 2 decoded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fmtcp::obs

@@ -131,5 +131,26 @@ TEST(Scheduler, ExecutedCountExcludesCancelled) {
   EXPECT_EQ(s.executed_count(), 2u);
 }
 
+TEST(Scheduler, DispatchProfileCountsByTag) {
+  Scheduler s;
+  s.schedule_at(1, "timer", [] {});
+  s.schedule_at(2, "timer", [] {});
+  s.schedule_at(3, "link.deliver", [] {});
+  s.schedule_at(4, [] {});  // Untagged counts as "event".
+  EventHandle h = s.schedule_at(5, "timer", [] {});
+  h.cancel();  // Cancelled events never reach the profile.
+  s.run();
+
+  std::uint64_t timer = 0, deliver = 0, untagged = 0;
+  for (const auto& [tag, count] : s.dispatch_profile()) {
+    if (tag == "timer") timer = count;
+    if (tag == "link.deliver") deliver = count;
+    if (tag == "event") untagged = count;
+  }
+  EXPECT_EQ(timer, 2u);
+  EXPECT_EQ(deliver, 1u);
+  EXPECT_EQ(untagged, 1u);
+}
+
 }  // namespace
 }  // namespace fmtcp::sim

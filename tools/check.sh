@@ -1,0 +1,25 @@
+#!/bin/sh
+# Smoke check: build with AddressSanitizer + UBSan and run the full test
+# suite, then a short instrumented simulation. Catches memory errors the
+# regular RelWithDebInfo build will not.
+#
+#   tools/check.sh [build-dir]      (default: build-asan)
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-asan}"
+
+cmake -B "$build" -S "$repo" -DFMTCP_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j "$(nproc)"
+
+(cd "$build" && ctest --output-on-failure -j "$(nproc)")
+
+# A short observability-instrumented run exercises the JSONL/JSON
+# writers under the sanitizers too.
+"$build/tools/fmtcp_sim" --protocol=fmtcp --loss2=0.15 --duration=5 \
+  --metrics-json="$build/check_metrics.json" \
+  --timeline="$build/check_timeline.jsonl"
+"$build/tools/trace_summary" --timeline "$build/check_timeline.jsonl"
+
+echo "check.sh: all good"

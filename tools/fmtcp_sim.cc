@@ -9,14 +9,19 @@
 //   fmtcp_sim --protocol=mptcp --loss2=0.10 --reinjection --sack
 //   fmtcp_sim --protocol=fmtcp --surge=50:0.35,200:0.01 --series
 //   fmtcp_sim --protocol=fmtcp --trace=/tmp/run.csv --duration=5
+//   fmtcp_sim --protocol=fmtcp --metrics-json=m.json --timeline=t.jsonl
+//   fmtcp_sim --protocol=fmtcp --log-level=debug --duration=2
 #include <cstdio>
 #include <memory>
 #include <sstream>
 #include <string>
 
+#include "common/check.h"
 #include "common/flags.h"
+#include "common/logging.h"
 #include "harness/runner.h"
 #include "net/trace.h"
+#include "obs/observer.h"
 
 using namespace fmtcp;
 using namespace fmtcp::harness;
@@ -52,6 +57,37 @@ std::vector<net::TimeVaryingLoss::Step> parse_surge(
          std::stod(item.substr(colon + 1))});
   }
   return steps;
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  std::fprintf(stderr,
+               "unknown --log-level '%s' (trace|debug|info|warn|error)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+/// Opened before the run so a bad --metrics-json path fails fast
+/// instead of after the whole simulation.
+std::FILE* open_metrics_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::perror(("metrics: cannot open '" + path + "' for writing").c_str());
+    std::exit(1);
+  }
+  return file;
+}
+
+void write_metrics_json(const obs::MetricsRegistry& metrics,
+                        std::FILE* file) {
+  const std::string json = metrics.to_json();
+  std::fputs(json.c_str(), file);
+  std::fputc('\n', file);
+  FMTCP_CHECK(std::fclose(file) == 0);
 }
 
 }  // namespace
@@ -112,6 +148,12 @@ int main(int argc, char** argv) {
       flags.get_bool("series", false, "print per-second goodput");
   const std::string trace_path =
       flags.get_string("trace", "", "write CSV packet trace to file");
+  const std::string metrics_path = flags.get_string(
+      "metrics-json", "", "write run metrics as JSON to file");
+  const std::string timeline_path = flags.get_string(
+      "timeline", "", "write event timeline as JSONL to file");
+  const std::string log_level_name = flags.get_string(
+      "log-level", "warn", "trace | debug | info | warn | error");
 
   if (flags.get_bool("help", false, "show this help")) {
     std::printf("usage: %s [flags]\n%s", flags.program().c_str(),
@@ -123,10 +165,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  set_log_level(parse_log_level(log_level_name));
+
   std::unique_ptr<net::CsvTracer> tracer;
   if (!trace_path.empty()) {
     tracer = std::make_unique<net::CsvTracer>(trace_path);
     scenario.tracer = tracer.get();
+  }
+
+  std::unique_ptr<obs::Observer> observer;
+  std::FILE* metrics_file = nullptr;
+  if (!metrics_path.empty() || !timeline_path.empty()) {
+    observer = std::make_unique<obs::Observer>();
+    if (!metrics_path.empty()) {
+      metrics_file = open_metrics_file(metrics_path);
+    }
+    if (!timeline_path.empty()) {
+      observer->timeline.open_jsonl(timeline_path);
+    }
+    scenario.observer = observer.get();
   }
 
   const Protocol protocol = parse_protocol(protocol_name);
@@ -160,10 +217,27 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.timeouts), s.final_cwnd,
         s.loss_estimate);
   }
+  std::printf("event loop:      %llu events in %.2f s wall\n",
+              static_cast<unsigned long long>(result.sim_events),
+              result.wall_seconds);
   if (tracer) {
     std::printf("trace:           %llu rows -> %s\n",
                 static_cast<unsigned long long>(tracer->rows_written()),
                 trace_path.c_str());
+  }
+  if (observer) {
+    if (metrics_file != nullptr) {
+      write_metrics_json(observer->metrics, metrics_file);
+      std::printf("metrics:         %zu metrics -> %s\n",
+                  observer->metrics.metric_count(), metrics_path.c_str());
+    }
+    if (!timeline_path.empty()) {
+      observer->timeline.flush();
+      std::printf("timeline:        %llu events -> %s\n",
+                  static_cast<unsigned long long>(
+                      observer->timeline.emitted()),
+                  timeline_path.c_str());
+    }
   }
   if (print_series) {
     std::printf("\nt(s)\tgoodput(MB/s)\n");

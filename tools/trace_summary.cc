@@ -1,37 +1,71 @@
-// trace_summary — aggregates a CSV packet trace written by
-// `fmtcp_sim --trace=FILE` (or any CsvTracer) into per-link statistics.
+// trace_summary — aggregates simulator output files into reports.
+//
+// Two modes:
+//   - CSV packet traces written by `fmtcp_sim --trace=FILE` (or any
+//     CsvTracer) → per-link statistics.
+//   - JSONL event timelines written by `fmtcp_sim --timeline=FILE` →
+//     per-subflow and per-block summaries (pass --timeline).
 //
 //   fmtcp_sim --protocol=fmtcp --trace=/tmp/run.csv --duration=30
 //   trace_summary /tmp/run.csv
+//   fmtcp_sim --protocol=fmtcp --timeline=/tmp/run.jsonl --duration=30
+//   trace_summary --timeline /tmp/run.jsonl
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
 #include "net/trace_summary.h"
+#include "obs/timeline_summary.h"
 
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <trace.csv>  (use - for stdin)\n",
-                 argv[0]);
-    return 2;
-  }
+namespace {
 
-  fmtcp::net::TraceSummary summary;
-  const std::string path = argv[1];
-  if (path == "-") {
-    summary = fmtcp::net::summarize_trace(std::cin);
-  } else {
-    std::ifstream in(path);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", path.c_str());
-      return 1;
-    }
-    summary = fmtcp::net::summarize_trace(in);
-  }
-
+int summarize_csv(std::istream& in) {
+  const fmtcp::net::TraceSummary summary = fmtcp::net::summarize_trace(in);
   std::fputs(fmtcp::net::format_trace_summary(summary).c_str(), stdout);
   std::printf(
       "\n(link ids from the harness: 0/2 = path-1/2 forward, 1/3 = "
       "reverse)\n");
   return 0;
+}
+
+int summarize_timeline(std::istream& in) {
+  const fmtcp::obs::TimelineSummary summary =
+      fmtcp::obs::summarize_timeline(in);
+  std::fputs(fmtcp::obs::format_timeline_summary(summary).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool timeline = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--timeline") == 0) {
+      timeline = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;  // Too many positionals.
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: %s [--timeline] <trace.csv | timeline.jsonl>  "
+                 "(use - for stdin)\n",
+                 argv[0]);
+    return 2;
+  }
+
+  if (std::strcmp(path, "-") == 0) {
+    return timeline ? summarize_timeline(std::cin) : summarize_csv(std::cin);
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  return timeline ? summarize_timeline(in) : summarize_csv(in);
 }
