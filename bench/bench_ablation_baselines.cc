@@ -7,8 +7,9 @@
 // ARQ rounds while the rateless fountain just keeps streaming.
 #include <cstdio>
 
+#include "common/flags.h"
 #include "harness/printer.h"
-#include "harness/runner.h"
+#include "harness/sweep.h"
 #include "harness/table1.h"
 
 using namespace fmtcp;
@@ -16,13 +17,15 @@ using namespace fmtcp::harness;
 
 namespace {
 
-void run_regime(const char* title, const Scenario& scenario,
-                const ProtocolOptions& options) {
+constexpr Protocol kProtocols[] = {Protocol::kFmtcp, Protocol::kHmtp,
+                                   Protocol::kFixedRate, Protocol::kMptcp};
+
+void print_regime(const char* title, const std::vector<RunResult>& results,
+                  std::size_t& i) {
   print_header(title);
   std::vector<std::vector<std::string>> rows;
-  for (Protocol protocol : {Protocol::kFmtcp, Protocol::kHmtp,
-                            Protocol::kFixedRate, Protocol::kMptcp}) {
-    const RunResult r = run_scenario(protocol, scenario, options);
+  for (Protocol protocol : kProtocols) {
+    const RunResult& r = results[i++];
     rows.push_back({protocol_name(protocol), fmt(r.goodput_MBps, 3),
                     fmt(r.mean_delay_ms, 0), fmt(r.jitter_ms, 0),
                     fmt(r.max_delay_ms, 0),
@@ -35,27 +38,35 @@ void run_regime(const char* title, const Scenario& scenario,
 
 }  // namespace
 
-int main() {
-  {
-    Scenario scenario = table1_scenario(2);
-    scenario.duration = 60 * kSecond;
-    run_regime("Ablation A4a: heterogeneous paths (case 3: 100ms, 10%)",
-               scenario, ProtocolOptions::defaults());
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  SweepRunner runner(jobs_from_flags(flags));
+
+  Scenario hetero = table1_scenario(2);
+  hetero.duration = 60 * kSecond;
+  for (Protocol protocol : kProtocols) {
+    runner.submit(protocol, hetero, ProtocolOptions::defaults());
   }
-  {
-    Scenario scenario;
-    scenario.path1 = {100.0, 0.15};
-    scenario.path2 = {100.0, 0.15};
-    scenario.duration = 60 * kSecond;
-    scenario.seed = 9;
-    ProtocolOptions options = ProtocolOptions::defaults();
-    options.fixed_rate.assumed_loss = 0.02;  // Underestimated (Eq. 5-6).
-    run_regime(
-        "Ablation A4b: both paths 15% lossy, fixed-rate assumes 2%",
-        scenario, options);
-    std::printf(
-        "\nThe fixed-rate scheme's delay tail reflects its ARQ top-up "
-        "rounds (Eq. 5-6 regime: loss underestimated).\n");
+
+  Scenario lossy;
+  lossy.path1 = {100.0, 0.15};
+  lossy.path2 = {100.0, 0.15};
+  lossy.duration = 60 * kSecond;
+  lossy.seed = 9;
+  ProtocolOptions lossy_options = ProtocolOptions::defaults();
+  lossy_options.fixed_rate.assumed_loss = 0.02;  // Underestimated (Eq. 5-6).
+  for (Protocol protocol : kProtocols) {
+    runner.submit(protocol, lossy, lossy_options);
   }
+
+  const std::vector<RunResult> results = runner.run();
+  std::size_t i = 0;
+  print_regime("Ablation A4a: heterogeneous paths (case 3: 100ms, 10%)",
+               results, i);
+  print_regime("Ablation A4b: both paths 15% lossy, fixed-rate assumes 2%",
+               results, i);
+  std::printf(
+      "\nThe fixed-rate scheme's delay tail reflects its ARQ top-up "
+      "rounds (Eq. 5-6 regime: loss underestimated).\n");
   return 0;
 }

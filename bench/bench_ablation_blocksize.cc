@@ -4,18 +4,23 @@
 // sooner but pay proportionally more margin overhead.
 #include <algorithm>
 
+#include "common/flags.h"
 #include "harness/printer.h"
-#include "harness/runner.h"
+#include "harness/sweep.h"
 #include "harness/table1.h"
 
 using namespace fmtcp;
 using namespace fmtcp::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  SweepRunner runner(jobs_from_flags(flags));
+
   print_header("Ablation A3: block-size sweep on test case 3 (100ms, 10%)");
 
-  std::vector<std::vector<std::string>> rows;
-  for (std::uint32_t k : {16u, 32u, 64u, 128u, 256u}) {
+  const std::uint32_t ks[] = {16u, 32u, 64u, 128u, 256u};
+  std::vector<ProtocolOptions> all_options;
+  for (std::uint32_t k : ks) {
     Scenario scenario = table1_scenario(2);
     scenario.duration = 60 * kSecond;
     ProtocolOptions options = ProtocolOptions::defaults();
@@ -23,9 +28,17 @@ int main() {
     // Keep the pending window a constant number of bytes.
     options.fmtcp.max_pending_blocks =
         std::max<std::size_t>(4, 128 * 64 / k);
-    const RunResult r = run_scenario(Protocol::kFmtcp, scenario, options);
+    all_options.push_back(options);
+    runner.submit(Protocol::kFmtcp, scenario, options);
+  }
+  const std::vector<RunResult> results = runner.run();
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    const std::uint32_t k = ks[i];
     rows.push_back({std::to_string(k),
-                    std::to_string(options.fmtcp.block_bytes()),
+                    std::to_string(all_options[i].fmtcp.block_bytes()),
                     fmt(r.goodput_MBps, 3), fmt(r.mean_delay_ms, 0),
                     fmt(r.jitter_ms, 0),
                     fmt(r.coding_overhead(k) * 100, 1)});

@@ -4,11 +4,15 @@
 // one block at once).
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "baselines/hmtp.h"
+#include "common/flags.h"
+#include "common/thread_pool.h"
 #include "core/connection.h"
 #include "harness/printer.h"
 #include "harness/scenario.h"
+#include "harness/sweep.h"
 #include "mptcp/connection.h"
 #include "net/topology.h"
 #include "sim/simulator.h"
@@ -26,60 +30,66 @@ struct BurstShape {
   double loss_bad;
 };
 
-void run_shape(const BurstShape& shape) {
-  for (Protocol protocol : {Protocol::kFmtcp, Protocol::kMptcp}) {
-    Scenario scenario;
-    scenario.path2 = {100.0, 0.0};
-    scenario.duration = 60 * kSecond;
-    scenario.seed = 13;
+struct CellResult {
+  double goodput = 0.0;
+  double delay = 0.0;
+  double jitter = 0.0;
+};
 
-    const ProtocolOptions options = ProtocolOptions::defaults();
-    sim::Simulator simulator(scenario.seed);
-    net::Topology topology(simulator,
-                           {scenario.path_config(scenario.path1),
-                            scenario.path_config(scenario.path2)});
-    net::GilbertElliottLoss::Config ge;
-    ge.p_good_to_bad = shape.p_good_to_bad;
-    ge.p_bad_to_good = shape.p_bad_to_good;
-    ge.loss_bad = shape.loss_bad;
-    topology.path(1).set_forward_loss(
-        std::make_unique<net::GilbertElliottLoss>(ge));
+/// One fully self-contained simulation (these cells bypass run_scenario
+/// because Scenario cannot express a Gilbert–Elliott loss model).
+CellResult run_cell(const BurstShape& shape, Protocol protocol) {
+  Scenario scenario;
+  scenario.path2 = {100.0, 0.0};
+  scenario.duration = 60 * kSecond;
+  scenario.seed = 13;
 
-    double goodput = 0.0;
-    double delay = 0.0;
-    double jitter = 0.0;
-    if (protocol == Protocol::kFmtcp) {
-      core::FmtcpConnectionConfig config;
-      config.params = options.fmtcp;
-      config.subflow = options.subflow;
-      core::FmtcpConnection connection(simulator, topology, config);
-      connection.start();
-      simulator.run_until(scenario.duration);
-      goodput = connection.goodput().mean_rate_MBps(scenario.duration);
-      delay = connection.block_delays().mean_delay_ms();
-      jitter = connection.block_delays().jitter_ms();
-    } else {
-      mptcp::MptcpConnectionConfig config;
-      config.subflow = options.subflow;
-      config.sender.segment_bytes = options.subflow.mss_payload;
-      config.sender.metric_block_bytes = options.fmtcp.block_bytes();
-      config.receive_buffer_bytes = options.mptcp_receive_buffer;
-      mptcp::MptcpConnection connection(simulator, topology, config);
-      connection.start();
-      simulator.run_until(scenario.duration);
-      goodput = connection.goodput().mean_rate_MBps(scenario.duration);
-      delay = connection.block_delays().mean_delay_ms();
-      jitter = connection.block_delays().jitter_ms();
-    }
-    std::printf("%-22s %-11s %.3f MB/s  delay %4.0f ms  jitter %4.0f ms\n",
-                shape.name, protocol_name(protocol), goodput, delay,
-                jitter);
+  const ProtocolOptions options = ProtocolOptions::defaults();
+  sim::Simulator simulator(scenario.seed);
+  net::Topology topology(simulator,
+                         {scenario.path_config(scenario.path1),
+                          scenario.path_config(scenario.path2)});
+  net::GilbertElliottLoss::Config ge;
+  ge.p_good_to_bad = shape.p_good_to_bad;
+  ge.p_bad_to_good = shape.p_bad_to_good;
+  ge.loss_bad = shape.loss_bad;
+  topology.path(1).set_forward_loss(
+      std::make_unique<net::GilbertElliottLoss>(ge));
+
+  CellResult result;
+  if (protocol == Protocol::kFmtcp) {
+    core::FmtcpConnectionConfig config;
+    config.params = options.fmtcp;
+    config.subflow = options.subflow;
+    core::FmtcpConnection connection(simulator, topology, config);
+    connection.start();
+    simulator.run_until(scenario.duration);
+    result.goodput = connection.goodput().mean_rate_MBps(scenario.duration);
+    result.delay = connection.block_delays().mean_delay_ms();
+    result.jitter = connection.block_delays().jitter_ms();
+  } else {
+    mptcp::MptcpConnectionConfig config;
+    config.subflow = options.subflow;
+    config.sender.segment_bytes = options.subflow.mss_payload;
+    config.sender.metric_block_bytes = options.fmtcp.block_bytes();
+    config.receive_buffer_bytes = options.mptcp_receive_buffer;
+    mptcp::MptcpConnection connection(simulator, topology, config);
+    connection.start();
+    simulator.run_until(scenario.duration);
+    result.goodput = connection.goodput().mean_rate_MBps(scenario.duration);
+    result.delay = connection.block_delays().mean_delay_ms();
+    result.jitter = connection.block_delays().jitter_ms();
   }
+  return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  unsigned jobs = jobs_from_flags(flags);
+  if (jobs == 0) jobs = ThreadPool::hardware_threads();
+
   print_header(
       "Ablation A6: bursty (Gilbert-Elliott) loss on subflow 2, ~10% avg");
   // Stationary bad fraction p_gb/(p_gb+p_bg); loss = fraction * loss_bad.
@@ -88,7 +98,34 @@ int main() {
       {"moderate bursts", 0.02, 0.10, 0.60},        // Same avg, longer.
       {"long fades", 0.005, 0.025, 0.60},           // Multi-packet fades.
   };
-  for (const BurstShape& shape : shapes) run_shape(shape);
+  const Protocol protocols[] = {Protocol::kFmtcp, Protocol::kMptcp};
+
+  std::vector<CellResult> results(std::size(shapes) * std::size(protocols));
+  const auto cell = [&](std::size_t i) {
+    results[i] =
+        run_cell(shapes[i / std::size(protocols)], protocols[i % 2]);
+  };
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < results.size(); ++i) cell(i);
+  } else {
+    ThreadPool pool(std::min<unsigned>(
+        jobs, static_cast<unsigned>(results.size())));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      pool.submit([&cell, i] { cell(i); });
+    }
+    pool.wait();
+  }
+
+  std::size_t i = 0;
+  for (const BurstShape& shape : shapes) {
+    for (Protocol protocol : protocols) {
+      const CellResult& r = results[i++];
+      std::printf(
+          "%-22s %-11s %.3f MB/s  delay %4.0f ms  jitter %4.0f ms\n",
+          shape.name, protocol_name(protocol), r.goodput, r.delay,
+          r.jitter);
+    }
+  }
   std::printf(
       "\nLonger fades concentrate erasures inside single blocks: FMTCP "
       "needs bigger top-ups per block but never retransmits; MPTCP's\n"

@@ -2,25 +2,37 @@
 // probability trades redundancy (symbols sent beyond k̂) against
 // stop-and-wait stalls (a too-strict δ̂ front-loads margin symbols; a
 // loose δ̂ risks decode failures that cost a feedback round trip).
+#include "common/flags.h"
 #include "harness/printer.h"
-#include "harness/runner.h"
+#include "harness/sweep.h"
 #include "harness/table1.h"
 
 using namespace fmtcp;
 using namespace fmtcp::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  SweepRunner runner(jobs_from_flags(flags));
+
   print_header("Ablation A2: delta_hat sweep on test case 3 (100ms, 10%)");
 
-  std::vector<std::vector<std::string>> rows;
-  for (double delta : {0.30, 0.10, 0.05, 0.01, 0.001}) {
+  const double deltas[] = {0.30, 0.10, 0.05, 0.01, 0.001};
+  std::vector<ProtocolOptions> all_options;
+  for (double delta : deltas) {
     Scenario scenario = table1_scenario(2);
     scenario.duration = 60 * kSecond;
     ProtocolOptions options = ProtocolOptions::defaults();
     options.fmtcp.delta_hat = delta;
-    const RunResult r = run_scenario(Protocol::kFmtcp, scenario, options);
-    rows.push_back({fmt(delta, 3),
-                    fmt(options.fmtcp.delta_margin_symbols(), 2),
+    all_options.push_back(options);
+    runner.submit(Protocol::kFmtcp, scenario, options);
+  }
+  const std::vector<RunResult> results = runner.run();
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    rows.push_back({fmt(deltas[i], 3),
+                    fmt(all_options[i].fmtcp.delta_margin_symbols(), 2),
                     fmt(r.goodput_MBps, 3), fmt(r.mean_delay_ms, 0),
                     fmt(r.jitter_ms, 0),
                     fmt(r.coding_overhead(ProtocolOptions::defaults().fmtcp.block_symbols) * 100, 1)});

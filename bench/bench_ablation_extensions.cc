@@ -6,8 +6,9 @@
 // (SACK + reinjection) claws back.
 #include <cstdio>
 
+#include "common/flags.h"
 #include "harness/printer.h"
-#include "harness/runner.h"
+#include "harness/sweep.h"
 #include "harness/table1.h"
 
 using namespace fmtcp;
@@ -25,93 +26,103 @@ std::vector<std::string> row(const char* name, const RunResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  SweepRunner runner(jobs_from_flags(flags));
+
   Scenario scenario = table1_scenario(2);  // 100 ms, 10%.
   scenario.duration = 60 * kSecond;
 
+  // FMTCP variants.
+  struct Cell {
+    const char* name;
+    Protocol protocol;
+    ProtocolOptions options;
+  };
+  std::vector<Cell> cells;
+  const auto add = [&](const char* name, Protocol protocol,
+                       ProtocolOptions options) {
+    cells.push_back({name, protocol, options});
+    runner.submit(protocol, scenario, options);
+  };
+
+  add("baseline (Reno, dense code)", Protocol::kFmtcp,
+      ProtocolOptions::defaults());
   {
-    print_header("FMTCP variants (case 3: 100ms, 10%)");
-    std::vector<std::vector<std::string>> rows;
-    {
-      const RunResult r = run_scenario(Protocol::kFmtcp, scenario);
-      rows.push_back(row("baseline (Reno, dense code)", r));
-    }
-    {
-      ProtocolOptions o = ProtocolOptions::defaults();
-      o.sack = true;
-      rows.push_back(row("+ SACK", run_scenario(Protocol::kFmtcp,
-                                                scenario, o)));
-    }
-    {
-      ProtocolOptions o = ProtocolOptions::defaults();
-      o.fmtcp.systematic = true;
-      rows.push_back(row("+ systematic code",
-                         run_scenario(Protocol::kFmtcp, scenario, o)));
-    }
-    {
-      ProtocolOptions o = ProtocolOptions::defaults();
-      o.subflow.congestion = tcp::CongestionAlgo::kCubic;
-      rows.push_back(row("+ CUBIC", run_scenario(Protocol::kFmtcp,
-                                                 scenario, o)));
-    }
-    {
-      ProtocolOptions o = ProtocolOptions::defaults();
-      o.fmtcp_use_lia = true;
-      rows.push_back(row("+ LIA coupling",
-                         run_scenario(Protocol::kFmtcp, scenario, o)));
-    }
-    {
-      ProtocolOptions o = ProtocolOptions::defaults();
-      o.delayed_acks = true;
-      rows.push_back(row("+ delayed ACKs",
-                         run_scenario(Protocol::kFmtcp, scenario, o)));
-    }
-    print_table({"variant", "goodput(MB/s)", "delay(ms)", "jitter(ms)",
-                 "max delay(ms)"},
-                rows);
+    ProtocolOptions o = ProtocolOptions::defaults();
+    o.sack = true;
+    add("+ SACK", Protocol::kFmtcp, o);
+  }
+  {
+    ProtocolOptions o = ProtocolOptions::defaults();
+    o.fmtcp.systematic = true;
+    add("+ systematic code", Protocol::kFmtcp, o);
+  }
+  {
+    ProtocolOptions o = ProtocolOptions::defaults();
+    o.subflow.congestion = tcp::CongestionAlgo::kCubic;
+    add("+ CUBIC", Protocol::kFmtcp, o);
+  }
+  {
+    ProtocolOptions o = ProtocolOptions::defaults();
+    o.fmtcp_use_lia = true;
+    add("+ LIA coupling", Protocol::kFmtcp, o);
+  }
+  {
+    ProtocolOptions o = ProtocolOptions::defaults();
+    o.delayed_acks = true;
+    add("+ delayed ACKs", Protocol::kFmtcp, o);
+  }
+  const std::size_t fmtcp_variants = cells.size();
+
+  // MPTCP variants (FMTCP baseline re-printed as the reference row; it
+  // reuses the first result rather than re-running).
+  add("MPTCP baseline", Protocol::kMptcp, ProtocolOptions::defaults());
+  {
+    ProtocolOptions o = ProtocolOptions::defaults();
+    o.sack = true;
+    add("MPTCP + SACK", Protocol::kMptcp, o);
+  }
+  {
+    ProtocolOptions o = ProtocolOptions::defaults();
+    o.mptcp_reinjection = true;
+    add("MPTCP + reinjection", Protocol::kMptcp, o);
+  }
+  {
+    ProtocolOptions o = ProtocolOptions::defaults();
+    o.sack = true;
+    o.mptcp_reinjection = true;
+    add("MPTCP + SACK + reinjection", Protocol::kMptcp, o);
+  }
+  {
+    ProtocolOptions o = ProtocolOptions::defaults();
+    o.mptcp_use_lia = true;
+    add("MPTCP + LIA", Protocol::kMptcp, o);
   }
 
-  {
-    print_header("IETF-MPTCP variants (case 3), vs FMTCP baseline");
-    std::vector<std::vector<std::string>> rows;
-    const RunResult fmtcp_base = run_scenario(Protocol::kFmtcp, scenario);
-    rows.push_back(row("FMTCP baseline (reference)", fmtcp_base));
-    {
-      rows.push_back(row("MPTCP baseline",
-                         run_scenario(Protocol::kMptcp, scenario)));
-    }
-    {
-      ProtocolOptions o = ProtocolOptions::defaults();
-      o.sack = true;
-      rows.push_back(row("MPTCP + SACK",
-                         run_scenario(Protocol::kMptcp, scenario, o)));
-    }
-    {
-      ProtocolOptions o = ProtocolOptions::defaults();
-      o.mptcp_reinjection = true;
-      rows.push_back(row("MPTCP + reinjection",
-                         run_scenario(Protocol::kMptcp, scenario, o)));
-    }
-    {
-      ProtocolOptions o = ProtocolOptions::defaults();
-      o.sack = true;
-      o.mptcp_reinjection = true;
-      rows.push_back(row("MPTCP + SACK + reinjection",
-                         run_scenario(Protocol::kMptcp, scenario, o)));
-    }
-    {
-      ProtocolOptions o = ProtocolOptions::defaults();
-      o.mptcp_use_lia = true;
-      rows.push_back(row("MPTCP + LIA",
-                         run_scenario(Protocol::kMptcp, scenario, o)));
-    }
-    print_table({"variant", "goodput(MB/s)", "delay(ms)", "jitter(ms)",
-                 "max delay(ms)"},
-                rows);
-    std::printf(
-        "\nEven a modernised MPTCP narrows but does not close the gap: "
-        "retransmissions still anchor urgent data to the lossy path,\n"
-        "whereas FMTCP replaces them with fungible symbols.\n");
+  const std::vector<RunResult> results = runner.run();
+
+  print_header("FMTCP variants (case 3: 100ms, 10%)");
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < fmtcp_variants; ++i) {
+    rows.push_back(row(cells[i].name, results[i]));
   }
+  print_table({"variant", "goodput(MB/s)", "delay(ms)", "jitter(ms)",
+               "max delay(ms)"},
+              rows);
+
+  print_header("IETF-MPTCP variants (case 3), vs FMTCP baseline");
+  std::vector<std::vector<std::string>> rows2;
+  rows2.push_back(row("FMTCP baseline (reference)", results[0]));
+  for (std::size_t i = fmtcp_variants; i < cells.size(); ++i) {
+    rows2.push_back(row(cells[i].name, results[i]));
+  }
+  print_table({"variant", "goodput(MB/s)", "delay(ms)", "jitter(ms)",
+               "max delay(ms)"},
+              rows2);
+  std::printf(
+      "\nEven a modernised MPTCP narrows but does not close the gap: "
+      "retransmissions still anchor urgent data to the lossy path,\n"
+      "whereas FMTCP replaces them with fungible symbols.\n");
   return 0;
 }

@@ -6,53 +6,41 @@
 // Expected: greedy loses most on delay/jitter in the asymmetric cases —
 // it lets the lossy subflow carry the most urgent block — while EAT
 // reserves urgent blocks for the path that will deliver them soonest.
+#include "common/flags.h"
 #include "core/params.h"
 #include "harness/printer.h"
-#include "harness/runner.h"
+#include "harness/sweep.h"
 #include "harness/table1.h"
 
 using namespace fmtcp;
 using namespace fmtcp::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  SweepRunner runner(jobs_from_flags(flags));
+
   print_header("Ablation A1: EAT virtual allocation vs greedy vs HMTP");
 
-  std::vector<std::vector<std::string>> rows;
-  for (std::size_t c : {0u, 3u, 7u}) {  // Cases 1, 4, 8.
+  const std::size_t cases[] = {0u, 3u, 7u};  // Cases 1, 4, 8.
+  for (std::size_t c : cases) {
     Scenario scenario = table1_scenario(c);
     scenario.duration = 60 * kSecond;
 
-    ProtocolOptions eat_options = ProtocolOptions::defaults();
     ProtocolOptions greedy_options = ProtocolOptions::defaults();
     greedy_options.fmtcp.allocation = core::AllocationMode::kGreedy;
 
-    const RunResult eat = run_scenario(Protocol::kFmtcp, scenario,
-                                       eat_options);
-    const RunResult greedy = run_scenario(Protocol::kFmtcp, scenario,
-                                          greedy_options);
-    const RunResult hmtp = run_scenario(Protocol::kHmtp, scenario);
-
-    const auto row = [&](const char* name, const RunResult& r) {
-      rows.push_back({std::to_string(c + 1), name, fmt(r.goodput_MBps, 3),
-                      fmt(r.mean_delay_ms, 0), fmt(r.jitter_ms, 0),
-                      fmt(r.coding_overhead(ProtocolOptions::defaults().fmtcp.block_symbols) * 100, 1)});
-    };
-    row("EAT (Alg.1)", eat);
-    row("greedy", greedy);
-    row("HMTP stop&wait", hmtp);
+    runner.submit(Protocol::kFmtcp, scenario, ProtocolOptions::defaults());
+    runner.submit(Protocol::kFmtcp, scenario, greedy_options);
+    runner.submit(Protocol::kHmtp, scenario, ProtocolOptions::defaults());
   }
-  print_table({"case", "allocator", "goodput(MB/s)", "delay(ms)",
-               "jitter(ms)", "overhead(%)"},
-              rows);
 
+  // Margin-starved variant (printed second, queued in the same sweep).
   // With the default δ̂ the margin symbols already cover a misplaced
   // packet, so EAT ≈ greedy above (an honest finding). Starve the margin
   // (δ̂ = 0.45, under one extra symbol) on a severely asymmetric pair of
   // paths: now a greedy sender that lets the slow lossy subflow carry
   // the first pending block stalls that block's completion, while the
   // EAT allocator routes it to the fast path.
-  print_header("margin-starved variant: delta=0.45, path2 = 300ms / 20%");
-  std::vector<std::vector<std::string>> rows2;
   Scenario hard;
   hard.path1 = {100.0, 0.0};
   hard.path2 = {300.0, 0.20};
@@ -63,7 +51,31 @@ int main() {
     options.fmtcp.delta_hat = 0.45;
     options.fmtcp.allocation = greedy ? core::AllocationMode::kGreedy
                                       : core::AllocationMode::kEatVirtual;
-    const RunResult r = run_scenario(Protocol::kFmtcp, hard, options);
+    runner.submit(Protocol::kFmtcp, hard, options);
+  }
+
+  const std::vector<RunResult> results = runner.run();
+
+  std::vector<std::vector<std::string>> rows;
+  std::size_t i = 0;
+  for (std::size_t c : cases) {
+    const auto row = [&](const char* name, const RunResult& r) {
+      rows.push_back({std::to_string(c + 1), name, fmt(r.goodput_MBps, 3),
+                      fmt(r.mean_delay_ms, 0), fmt(r.jitter_ms, 0),
+                      fmt(r.coding_overhead(ProtocolOptions::defaults().fmtcp.block_symbols) * 100, 1)});
+    };
+    row("EAT (Alg.1)", results[i++]);
+    row("greedy", results[i++]);
+    row("HMTP stop&wait", results[i++]);
+  }
+  print_table({"case", "allocator", "goodput(MB/s)", "delay(ms)",
+               "jitter(ms)", "overhead(%)"},
+              rows);
+
+  print_header("margin-starved variant: delta=0.45, path2 = 300ms / 20%");
+  std::vector<std::vector<std::string>> rows2;
+  for (bool greedy : {false, true}) {
+    const RunResult& r = results[i++];
     rows2.push_back({greedy ? "greedy" : "EAT (Alg.1)",
                      fmt(r.goodput_MBps, 3), fmt(r.mean_delay_ms, 0),
                      fmt(r.jitter_ms, 0), fmt(r.max_delay_ms, 0)});

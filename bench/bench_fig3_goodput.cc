@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   const bool json = flags.get_bool(
       "json", false, "emit JSONL {metric,protocol,value} records");
+  const unsigned parallel_jobs = jobs_from_flags(flags);
 
   if (!json) {
     print_header("Figure 3: total goodput vs subflow-2 quality (Table I)");
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const std::vector<RunResult> results = run_parallel(jobs);
+  const std::vector<RunResult> results = run_parallel(jobs, parallel_jobs);
 
   const auto cell = [&](std::size_t c, int protocol_index) {
     std::vector<RunResult> slice(

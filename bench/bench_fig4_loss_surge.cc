@@ -21,36 +21,43 @@
 
 #include "common/flags.h"
 #include "harness/printer.h"
-#include "harness/runner.h"
+#include "harness/sweep.h"
 
 using namespace fmtcp;
 using namespace fmtcp::harness;
 
 namespace {
 
-void run_variant(const char* name, const char* slug, double path1_loss,
-                 double surge, bool json) {
+struct Variant {
+  const char* name;
+  const char* slug;
+  double path1_loss;
+  double surge;
+};
+
+Scenario make_scenario(const Variant& v) {
   Scenario scenario;
-  scenario.path1 = {100.0, path1_loss};
+  scenario.path1 = {100.0, v.path1_loss};
   scenario.path2 = {100.0, 0.01};
   scenario.duration = 300 * kSecond;
   scenario.seed = 42;
   scenario.path2_loss_schedule = {
-      {0, 0.01}, {50 * kSecond, surge}, {200 * kSecond, 0.01}};
+      {0, 0.01}, {50 * kSecond, v.surge}, {200 * kSecond, 0.01}};
+  return scenario;
+}
 
-  const RunResult fmtcp_run = run_scenario(Protocol::kFmtcp, scenario);
-  const RunResult mptcp_run = run_scenario(Protocol::kMptcp, scenario);
-
+void report_variant(const Variant& v, const RunResult& fmtcp_run,
+                    const RunResult& mptcp_run, bool json) {
   if (!json) {
-    std::printf("\n-- %s: surge to %.0f%% during [50s,200s) --\n", name,
-                surge * 100);
+    std::printf("\n-- %s: surge to %.0f%% during [50s,200s) --\n", v.name,
+                v.surge * 100);
     std::printf("t(s)\tFMTCP(MB/s)\tMPTCP(MB/s)\n");
-    const auto window_avg = [](const std::vector<double>& v,
+    const auto window_avg = [](const std::vector<double>& series,
                                std::size_t i) {
       double sum = 0.0;
       std::size_t n = 0;
-      for (std::size_t j = i; j < i + 10 && j < v.size(); ++j, ++n) {
-        sum += v[j];
+      for (std::size_t j = i; j < i + 10 && j < series.size(); ++j, ++n) {
+        sum += series[j];
       }
       return n == 0 ? 0.0 : sum / static_cast<double>(n);
     };
@@ -63,16 +70,16 @@ void run_variant(const char* name, const char* slug, double path1_loss,
 
   // Stability during the surge: stddev of the 1-second rates in
   // [60s, 200s) (skipping 10 s of transient).
-  const auto stability = [](const std::vector<double>& v) {
+  const auto stability = [](const std::vector<double>& series) {
     double mean = 0.0;
     std::size_t n = 0;
-    for (std::size_t t = 60; t < 200 && t < v.size(); ++t, ++n) {
-      mean += v[t];
+    for (std::size_t t = 60; t < 200 && t < series.size(); ++t, ++n) {
+      mean += series[t];
     }
     mean /= static_cast<double>(n);
     double var = 0.0;
-    for (std::size_t t = 60; t < 200 && t < v.size(); ++t) {
-      var += (v[t] - mean) * (v[t] - mean);
+    for (std::size_t t = 60; t < 200 && t < series.size(); ++t) {
+      var += (series[t] - mean) * (series[t] - mean);
     }
     return std::pair<double, double>(
         mean, std::sqrt(var / static_cast<double>(n)));
@@ -84,12 +91,12 @@ void run_variant(const char* name, const char* slug, double path1_loss,
         "{\"bench\":\"fig4_loss_surge\",\"metric\":\"surge_goodput_MBps\","
         "\"protocol\":\"fmtcp\",\"case\":\"%s\",\"value\":%.6f,"
         "\"stddev\":%.6f}\n",
-        slug, f_mean, f_sd);
+        v.slug, f_mean, f_sd);
     std::printf(
         "{\"bench\":\"fig4_loss_surge\",\"metric\":\"surge_goodput_MBps\","
         "\"protocol\":\"mptcp\",\"case\":\"%s\",\"value\":%.6f,"
         "\"stddev\":%.6f}\n",
-        slug, m_mean, m_sd);
+        v.slug, m_mean, m_sd);
     return;
   }
   std::printf(
@@ -104,16 +111,28 @@ int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   const bool json = flags.get_bool(
       "json", false, "emit JSONL {metric,protocol,value} records");
+  SweepRunner runner(jobs_from_flags(flags));
 
   if (!json) {
     print_header(
         "Figure 4: goodput rate under abrupt subflow-2 loss surge");
   }
-  run_variant("Fig 4(a)", "a", 0.0, 0.25, json);
-  run_variant("Fig 4(b)", "b", 0.0, 0.35, json);
-  run_variant("Fig 4(a) paper-literal (path1 loss 1%)", "a_paper", 0.01,
-              0.25, json);
-  run_variant("Fig 4(b) paper-literal (path1 loss 1%)", "b_paper", 0.01,
-              0.35, json);
+
+  const Variant variants[] = {
+      {"Fig 4(a)", "a", 0.0, 0.25},
+      {"Fig 4(b)", "b", 0.0, 0.35},
+      {"Fig 4(a) paper-literal (path1 loss 1%)", "a_paper", 0.01, 0.25},
+      {"Fig 4(b) paper-literal (path1 loss 1%)", "b_paper", 0.01, 0.35},
+  };
+  for (const Variant& v : variants) {
+    for (Protocol protocol : {Protocol::kFmtcp, Protocol::kMptcp}) {
+      runner.submit(protocol, make_scenario(v), ProtocolOptions::defaults());
+    }
+  }
+  const std::vector<RunResult> results = runner.run();
+
+  for (std::size_t i = 0; i < std::size(variants); ++i) {
+    report_variant(variants[i], results[2 * i], results[2 * i + 1], json);
+  }
   return 0;
 }

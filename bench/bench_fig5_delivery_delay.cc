@@ -7,6 +7,7 @@
 //
 // Paper shape: MPTCP's delay is higher everywhere and grows considerably
 // as subflow-2 quality falls; FMTCP stays low and flat.
+#include "common/flags.h"
 #include "harness/printer.h"
 #include "harness/sweep.h"
 #include "harness/table1.h"
@@ -14,7 +15,10 @@
 using namespace fmtcp;
 using namespace fmtcp::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const unsigned parallel_jobs = jobs_from_flags(flags);
+
   print_header("Figure 5: average block delivery delay (ms), Table I");
 
   const std::vector<std::uint64_t> seeds = {1001, 2002, 3003};
@@ -30,7 +34,7 @@ int main() {
       }
     }
   }
-  const std::vector<RunResult> results = run_parallel(jobs);
+  const std::vector<RunResult> results = run_parallel(jobs, parallel_jobs);
 
   const auto cell = [&](std::size_t c, int protocol_index,
                         double (*metric)(const RunResult&)) {

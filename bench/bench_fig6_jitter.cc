@@ -6,6 +6,7 @@
 // Paper shape: the jitter gap is even larger than the delay gap of
 // Fig. 5, especially when subflow 2 is poor — MPTCP cannot keep urgent
 // data off the bad path, so its block delays swing; FMTCP stays stable.
+#include "common/flags.h"
 #include "harness/printer.h"
 #include "harness/sweep.h"
 #include "harness/table1.h"
@@ -13,7 +14,10 @@
 using namespace fmtcp;
 using namespace fmtcp::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const unsigned parallel_jobs = jobs_from_flags(flags);
+
   print_header("Figure 6: average block jitter (ms), Table I");
 
   const std::vector<std::uint64_t> seeds = {1001, 2002, 3003};
@@ -29,7 +33,7 @@ int main() {
       }
     }
   }
-  const std::vector<RunResult> results = run_parallel(jobs);
+  const std::vector<RunResult> results = run_parallel(jobs, parallel_jobs);
 
   const auto cell = [&](std::size_t c, int protocol_index) {
     std::vector<RunResult> slice(

@@ -8,21 +8,28 @@
 #include <cstdio>
 #include "common/stats.h"
 
+#include "common/flags.h"
 #include "harness/printer.h"
-#include "harness/runner.h"
+#include "harness/sweep.h"
 #include "harness/table1.h"
 
 using namespace fmtcp;
 using namespace fmtcp::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  SweepRunner runner(jobs_from_flags(flags));
+
   print_header(
       "Figure 7: per-block delivery delay, test case 4 (100ms, 15%)");
 
   Scenario scenario = table1_scenario(3);
   scenario.duration = 200 * kSecond;  // Enough for 1000+ blocks.
-  const RunResult fmtcp_run = run_scenario(Protocol::kFmtcp, scenario);
-  const RunResult mptcp_run = run_scenario(Protocol::kMptcp, scenario);
+  runner.submit(Protocol::kFmtcp, scenario, ProtocolOptions::defaults());
+  runner.submit(Protocol::kMptcp, scenario, ProtocolOptions::defaults());
+  const std::vector<RunResult> results = runner.run();
+  const RunResult& fmtcp_run = results[0];
+  const RunResult& mptcp_run = results[1];
 
   const std::size_t count =
       std::min<std::size_t>(1000, std::min(fmtcp_run.block_delays_ms.size(),

@@ -41,6 +41,23 @@ void BM_SchedulerDeepQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerDeepQueue)->Arg(1000)->Arg(100000);
 
+void BM_DispatchProfiling(benchmark::State& state) {
+  // Cost of the per-dispatch profiling path (tag scan + tally) vs the
+  // default-off fast path. run_scenario only enables profiling when an
+  // observer is attached; this measures what that gate saves.
+  const bool profiling = state.range(0) != 0;
+  sim::Simulator sim(1);
+  sim.scheduler().set_profiling(profiling);
+  SimTime t = 0;
+  for (auto _ : state) {
+    sim.schedule_at(++t, "net.link.deliver", [] {});
+    benchmark::DoNotOptimize(sim.step());
+  }
+  state.SetLabel(profiling ? "profiling" : "no-observer");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DispatchProfiling)->Arg(0)->Arg(1);
+
 void BM_TimerRearm(benchmark::State& state) {
   sim::Simulator sim(1);
   sim::Timer timer(sim, [] {});

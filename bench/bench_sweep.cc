@@ -1,0 +1,137 @@
+// Sweep-throughput benchmark: wall time and events/sec for a fixed cell
+// grid run serially (--jobs 1) vs on the thread pool, verifying on the
+// way that both modes produce identical results. Writes the numbers as
+// JSON (--json=FILE) so a run can be committed as the perf baseline
+// (see BENCH_sweep.json at the repo root, produced by tools/bench.sh).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/thread_pool.h"
+#include "harness/sweep.h"
+#include "harness/table1.h"
+
+using namespace fmtcp;
+using namespace fmtcp::harness;
+
+namespace {
+
+struct ModeStats {
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;
+  double events_per_second() const {
+    return wall_seconds > 0 ? static_cast<double>(events) / wall_seconds
+                            : 0.0;
+  }
+};
+
+std::vector<SweepJob> build_grid(double seconds, int seeds) {
+  // Table-I cases 1-4 x {FMTCP, MPTCP} x seeds: a representative mix of
+  // loss rates (coding work) and clean paths (pure event churn).
+  std::vector<SweepJob> jobs;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      for (Protocol protocol : {Protocol::kFmtcp, Protocol::kMptcp}) {
+        SweepJob job;
+        job.protocol = protocol;
+        job.scenario = table1_scenario(c);
+        job.scenario.duration = from_seconds(seconds);
+        job.scenario.seed = static_cast<std::uint64_t>(seed);
+        jobs.push_back(job);
+      }
+    }
+  }
+  return jobs;
+}
+
+ModeStats run_mode(const std::vector<SweepJob>& jobs, unsigned threads,
+                   std::vector<RunResult>* results_out) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<RunResult> results = run_parallel(jobs, threads);
+  const auto stop = std::chrono::steady_clock::now();
+
+  ModeStats stats;
+  stats.wall_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  for (const RunResult& r : results) stats.events += r.sim_events;
+  if (results_out != nullptr) *results_out = std::move(results);
+  return stats;
+}
+
+void expect_identical(const std::vector<RunResult>& a,
+                      const std::vector<RunResult>& b) {
+  FMTCP_CHECK(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    FMTCP_CHECK(a[i].delivered_bytes == b[i].delivered_bytes);
+    FMTCP_CHECK(a[i].blocks_completed == b[i].blocks_completed);
+    FMTCP_CHECK(a[i].sim_events == b[i].sim_events);
+    FMTCP_CHECK(a[i].block_delays_ms == b[i].block_delays_ms);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const double seconds =
+      flags.get_double("seconds", 10.0, "simulated seconds per cell");
+  const int seeds = flags.get_int("seeds", 2, "seeds per cell");
+  unsigned parallel_threads = jobs_from_flags(flags);
+  const std::string json_path =
+      flags.get_string("json", "", "write results as JSON to file");
+  if (parallel_threads == 0) {
+    parallel_threads = ThreadPool::hardware_threads();
+  }
+
+  const std::vector<SweepJob> jobs = build_grid(seconds, seeds);
+  std::printf("sweep: %zu cells x %.0f simulated seconds, %u threads\n",
+              jobs.size(), seconds, parallel_threads);
+
+  std::vector<RunResult> serial_results;
+  const ModeStats serial = run_mode(jobs, 1, &serial_results);
+  std::printf("serial:   %6.2f s wall, %.2fM events/s\n",
+              serial.wall_seconds, serial.events_per_second() / 1e6);
+
+  std::vector<RunResult> parallel_results;
+  const ModeStats parallel =
+      run_mode(jobs, parallel_threads, &parallel_results);
+  std::printf("parallel: %6.2f s wall, %.2fM events/s (%.2fx)\n",
+              parallel.wall_seconds, parallel.events_per_second() / 1e6,
+              serial.wall_seconds / parallel.wall_seconds);
+
+  expect_identical(serial_results, parallel_results);
+  std::printf("results:  parallel run bit-identical to serial\n");
+
+  if (!json_path.empty()) {
+    std::FILE* file = std::fopen(json_path.c_str(), "w");
+    if (file == nullptr) {
+      std::perror(("cannot open " + json_path).c_str());
+      return 1;
+    }
+    std::fprintf(
+        file,
+        "{\n"
+        "  \"cells\": %zu,\n"
+        "  \"simulated_seconds_per_cell\": %.1f,\n"
+        "  \"threads\": %u,\n"
+        "  \"total_sim_events\": %llu,\n"
+        "  \"serial\": {\"wall_seconds\": %.3f, \"events_per_second\": "
+        "%.0f},\n"
+        "  \"parallel\": {\"wall_seconds\": %.3f, \"events_per_second\": "
+        "%.0f},\n"
+        "  \"speedup\": %.3f,\n"
+        "  \"identical_results\": true\n"
+        "}\n",
+        jobs.size(), seconds, parallel_threads,
+        static_cast<unsigned long long>(serial.events),
+        serial.wall_seconds, serial.events_per_second(),
+        parallel.wall_seconds, parallel.events_per_second(),
+        serial.wall_seconds / parallel.wall_seconds);
+    FMTCP_CHECK(std::fclose(file) == 0);
+    std::printf("json:     -> %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,23 +1,36 @@
 // Table I — the full metric matrix over the paper's eight test cases,
 // for all four protocols (FMTCP, IETF-MPTCP, plus the HMTP and
 // fixed-rate comparators from the related-work discussion).
+#include "common/flags.h"
 #include "harness/printer.h"
-#include "harness/runner.h"
+#include "harness/sweep.h"
 #include "harness/table1.h"
 
 using namespace fmtcp;
 using namespace fmtcp::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  SweepRunner runner(jobs_from_flags(flags));
+
   print_header("Table I test-case matrix: all protocols, all metrics");
 
-  std::vector<std::vector<std::string>> rows;
+  const Protocol protocols[] = {Protocol::kFmtcp, Protocol::kMptcp,
+                                Protocol::kHmtp, Protocol::kFixedRate};
   for (std::size_t c = 0; c < table1_cases().size(); ++c) {
     Scenario scenario = table1_scenario(c);
     scenario.duration = 60 * kSecond;  // 4 protocols x 8 cases: keep lean.
-    for (Protocol protocol : {Protocol::kFmtcp, Protocol::kMptcp,
-                              Protocol::kHmtp, Protocol::kFixedRate}) {
-      const RunResult r = run_scenario(protocol, scenario);
+    for (Protocol protocol : protocols) {
+      runner.submit(protocol, scenario, ProtocolOptions::defaults());
+    }
+  }
+  const std::vector<RunResult> results = runner.run();
+
+  std::vector<std::vector<std::string>> rows;
+  std::size_t i = 0;
+  for (std::size_t c = 0; c < table1_cases().size(); ++c) {
+    for (Protocol protocol : protocols) {
+      const RunResult& r = results[i++];
       rows.push_back(
           {std::to_string(c + 1), protocol_name(protocol),
            fmt(r.goodput_MBps, 3), fmt(r.mean_delay_ms, 0),

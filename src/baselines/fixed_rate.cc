@@ -166,7 +166,7 @@ bool FixedRateReceiver::is_decoded(net::BlockId id) const {
 }
 
 void FixedRateReceiver::on_segment(std::uint32_t /*subflow*/,
-                                   const net::Packet& p) {
+                                   net::Packet& p) {
   for (const net::EncodedSymbol& symbol : p.symbols) {
     if (is_decoded(symbol.block)) {
       ++redundant_;

@@ -101,7 +101,7 @@ class FixedRateReceiver final : public tcp::DataSink {
   FixedRateReceiver(sim::Simulator& simulator, const FixedRateParams& params,
                     metrics::GoodputMeter* goodput = nullptr);
 
-  void on_segment(std::uint32_t subflow, const net::Packet& p) override;
+  void on_segment(std::uint32_t subflow, net::Packet& p) override;
   void fill_ack(std::uint32_t subflow, const net::Packet& data,
                 net::Packet& ack, std::size_t& extra_bytes) override;
 

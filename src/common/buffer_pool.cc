@@ -1,0 +1,24 @@
+#include "common/buffer_pool.h"
+
+#include <utility>
+
+namespace fmtcp {
+
+std::vector<std::uint8_t> BufferPool::acquire(std::size_t size) {
+  ++acquired_;
+  if (!free_.empty()) {
+    std::vector<std::uint8_t> buffer = std::move(free_.back());
+    free_.pop_back();
+    ++reused_;
+    buffer.resize(size);
+    return buffer;
+  }
+  return std::vector<std::uint8_t>(size);
+}
+
+void BufferPool::release(std::vector<std::uint8_t>&& buffer) {
+  if (buffer.empty() || free_.size() >= max_free_) return;
+  free_.push_back(std::move(buffer));
+}
+
+}  // namespace fmtcp

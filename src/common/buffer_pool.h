@@ -1,0 +1,43 @@
+// Free-list recycler for byte buffers (packet / fountain-symbol
+// payloads). One pool per Simulator: the decoder releases symbol rows it
+// no longer needs and the encoder re-acquires them, so steady-state
+// simulation stops allocating fresh std::vector storage per symbol.
+//
+// Not thread-safe by design — a pool belongs to exactly one simulation,
+// and parallel sweeps give every cell its own Simulator (and pool).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fmtcp {
+
+class BufferPool {
+ public:
+  /// `max_free` caps the free list so a bursty run cannot pin unbounded
+  /// memory; surplus releases are simply freed.
+  explicit BufferPool(std::size_t max_free = 4096) : max_free_(max_free) {}
+
+  /// Returns a buffer with size() == `size` and unspecified contents
+  /// (callers overwrite or zero it). Reuses a released buffer when one
+  /// is available.
+  std::vector<std::uint8_t> acquire(std::size_t size);
+
+  /// Hands a buffer back for reuse. Empty buffers are ignored.
+  void release(std::vector<std::uint8_t>&& buffer);
+
+  // --- Diagnostics ---
+  std::size_t free_count() const { return free_.size(); }
+  std::uint64_t acquired() const { return acquired_; }
+  /// Acquisitions served from the free list (no allocation).
+  std::uint64_t reused() const { return reused_; }
+
+ private:
+  std::size_t max_free_;
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::uint64_t acquired_ = 0;
+  std::uint64_t reused_ = 0;
+};
+
+}  // namespace fmtcp

@@ -1,0 +1,52 @@
+// Minimal fixed-size thread pool for embarrassingly parallel work
+// (harness::SweepRunner). Tasks are closures; submission is cheap, and
+// wait() blocks until everything submitted so far has finished. No
+// futures, no task graph — the sweep layer owns result placement.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fmtcp {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(unsigned threads);
+  /// Waits for queued work, then joins the workers.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void wait();
+
+  unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// std::thread::hardware_concurrency with a sane fallback when the
+  /// runtime cannot tell (returns at least 1).
+  static unsigned hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fmtcp

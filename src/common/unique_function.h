@@ -1,0 +1,115 @@
+// Move-only callable wrapper for the event hot path.
+//
+// std::function requires its target to be copy-constructible, which rules
+// out lambdas that capture a move-only net::Packet. std::move_only_function
+// is C++23; this is the small subset the scheduler needs: void(), move-only,
+// with inline storage so typical captures (a few pointers plus a packet)
+// avoid a heap allocation per event.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace fmtcp {
+
+class UniqueFunction {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { steal(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char* buf);
+    void (*move)(unsigned char* from, unsigned char* to);
+    void (*destroy)(unsigned char* buf);
+  };
+
+  /// Covers pointer/index captures (timers, pokes) without allocating.
+  /// Larger captures (e.g. a moved-in packet) spill to the heap; keeping
+  /// the wrapper small matters more, because the scheduler sifts whole
+  /// entries through its binary heap on every push/pop.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  template <typename Fn>
+  static constexpr bool fits_inline =
+      sizeof(Fn) <= kInlineBytes &&
+      alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](unsigned char* buf) { (*std::launder(reinterpret_cast<Fn*>(buf)))(); },
+      [](unsigned char* from, unsigned char* to) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(from));
+        ::new (static_cast<void*>(to)) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](unsigned char* buf) {
+        std::launder(reinterpret_cast<Fn*>(buf))->~Fn();
+      },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](unsigned char* buf) { (**reinterpret_cast<Fn**>(buf))(); },
+      [](unsigned char* from, unsigned char* to) {
+        *reinterpret_cast<Fn**>(to) = *reinterpret_cast<Fn**>(from);
+      },
+      [](unsigned char* buf) { delete *reinterpret_cast<Fn**>(buf); },
+  };
+
+  void steal(UniqueFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->move(other.buf_, buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace fmtcp

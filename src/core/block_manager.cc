@@ -90,6 +90,9 @@ SenderBlock& BlockManager::ensure_block(net::BlockId id) {
   while (next_id_ <= id) {
     FMTCP_CHECK(can_open());
     blocks_.emplace_back(next_id_, params_, encoder_rng_.fork(), source_);
+    // Symbol payload buffers cycle through the simulator-local pool:
+    // receiver-side drops feed the next encodes.
+    blocks_.back().encoder.set_buffer_pool(&simulator_.buffer_pool());
     ++next_id_;
   }
   return blocks_.back();

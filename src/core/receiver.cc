@@ -48,22 +48,24 @@ void FmtcpReceiver::note_redundant(std::uint32_t subflow,
   }
 }
 
-void FmtcpReceiver::on_segment(std::uint32_t subflow,
-                               const net::Packet& p) {
-  for (const net::EncodedSymbol& symbol : p.symbols) {
+void FmtcpReceiver::on_segment(std::uint32_t subflow, net::Packet& p) {
+  // Payload bytes are moved off the packet (into the decoder or back to
+  // the simulator's buffer pool); symbol metadata stays for fill_ack.
+  for (net::EncodedSymbol& symbol : p.symbols) {
     ++symbols_received_;
     obs_symbols_.inc();
     if (is_decoded(symbol.block)) {
       ++redundant_symbols_;
       note_redundant(subflow, symbol.block,
                      /*rank=*/symbol.block_symbols);
+      simulator_.buffer_pool().release(std::move(symbol.data));
       continue;
     }
     auto [it, inserted] = decoders_.try_emplace(
         symbol.block, symbol.block_symbols, params_.symbol_bytes,
-        params_.carry_payload);
+        params_.carry_payload, &simulator_.buffer_pool());
     fountain::BlockDecoder& decoder = it->second;
-    if (!decoder.add_symbol(symbol)) {
+    if (!decoder.add_symbol(std::move(symbol))) {
       ++redundant_symbols_;  // Linearly dependent; dropped (§III-B).
       note_redundant(subflow, symbol.block, decoder.rank());
       continue;

@@ -34,7 +34,7 @@ class FmtcpReceiver final : public tcp::DataSink {
                 obs::Observer* observer = nullptr);
 
   // tcp::DataSink
-  void on_segment(std::uint32_t subflow, const net::Packet& p) override;
+  void on_segment(std::uint32_t subflow, net::Packet& p) override;
   void fill_ack(std::uint32_t subflow, const net::Packet& data,
                 net::Packet& ack, std::size_t& extra_bytes) override;
 

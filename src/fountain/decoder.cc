@@ -8,10 +8,11 @@
 namespace fmtcp::fountain {
 
 BlockDecoder::BlockDecoder(std::uint32_t symbols, std::size_t symbol_bytes,
-                           bool track_data)
+                           bool track_data, BufferPool* pool)
     : symbols_(symbols),
       symbol_bytes_(symbol_bytes),
       track_data_(track_data),
+      pool_(pool),
       pivot_rows_(symbols) {
   FMTCP_CHECK(symbols > 0);
   FMTCP_CHECK(symbol_bytes > 0);
@@ -19,17 +20,27 @@ BlockDecoder::BlockDecoder(std::uint32_t symbols, std::size_t symbol_bytes,
 
 bool BlockDecoder::add_symbol(const BitVector& coeffs,
                               const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> copy;
+  if (track_data_) copy = data;
+  return add_symbol(coeffs, std::move(copy));
+}
+
+bool BlockDecoder::add_symbol(const BitVector& coeffs,
+                              std::vector<std::uint8_t>&& data) {
   FMTCP_CHECK(coeffs.size() == symbols_);
   ++received_;
   if (complete()) {
     ++redundant_;
+    if (pool_ != nullptr) pool_->release(std::move(data));
     return false;
   }
 
   Row row{coeffs, {}};
   if (track_data_) {
     FMTCP_CHECK(data.size() == symbol_bytes_);
-    row.data = data;
+    row.data = std::move(data);
+  } else if (pool_ != nullptr) {
+    pool_->release(std::move(data));
   }
 
   // Reduce against existing pivot rows until the leading bit is free.
@@ -42,6 +53,7 @@ bool BlockDecoder::add_symbol(const BitVector& coeffs,
 
   if (pivot >= symbols_) {
     ++redundant_;  // Linearly dependent; dropped (paper §III-B).
+    if (pool_ != nullptr) pool_->release(std::move(row.data));
     return false;
   }
 
@@ -51,6 +63,11 @@ bool BlockDecoder::add_symbol(const BitVector& coeffs,
 }
 
 bool BlockDecoder::add_symbol(const net::EncodedSymbol& symbol) {
+  net::EncodedSymbol copy = symbol;
+  return add_symbol(std::move(copy));
+}
+
+bool BlockDecoder::add_symbol(net::EncodedSymbol&& symbol) {
   FMTCP_CHECK(symbol.block_symbols == symbols_);
   BitVector coeffs(symbols_);
   if (symbol.is_systematic()) {
@@ -59,10 +76,7 @@ bool BlockDecoder::add_symbol(const net::EncodedSymbol& symbol) {
   } else {
     coeffs = coefficients_from_seed(symbol.coeff_seed, symbols_);
   }
-  if (track_data_) {
-    return add_symbol(coeffs, symbol.data);
-  }
-  return add_symbol(coeffs, {});
+  return add_symbol(coeffs, std::move(symbol.data));
 }
 
 std::size_t BlockDecoder::buffered_bytes() const {
@@ -90,9 +104,10 @@ const BlockData& BlockDecoder::decode() {
 
   BlockData out(symbols_, symbol_bytes_);
   for (std::uint32_t i = 0; i < symbols_; ++i) {
-    const Row& row = *pivot_rows_[i];
+    Row& row = *pivot_rows_[i];
     FMTCP_DCHECK(row.coeffs.popcount() == 1);
     std::copy(row.data.begin(), row.data.end(), out.symbol(i));
+    if (pool_ != nullptr) pool_->release(std::move(row.data));
   }
   decoded_ = std::move(out);
   return *decoded_;

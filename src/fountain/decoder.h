@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "fountain/block.h"
 #include "fountain/gf2.h"
 #include "net/packet.h"
@@ -21,15 +22,28 @@ namespace fmtcp::fountain {
 class BlockDecoder {
  public:
   /// `track_data` false = rank-only mode (no payload bytes stored).
+  /// `pool`, when set, receives the payload buffers of dropped redundant
+  /// symbols and of pivot rows once the block has been decoded, so the
+  /// encoder side of the same simulator can reuse them.
   BlockDecoder(std::uint32_t symbols, std::size_t symbol_bytes,
-               bool track_data);
+               bool track_data, BufferPool* pool = nullptr);
 
   /// Inserts a symbol given its expanded coefficients and payload.
   /// Returns true if the symbol was innovative (rank increased).
+  /// Takes ownership of `data`: the bytes are stored (or recycled)
+  /// without copying.
+  bool add_symbol(const BitVector& coeffs, std::vector<std::uint8_t>&& data);
+
+  /// Copying convenience overload (tests and observers).
   bool add_symbol(const BitVector& coeffs,
                   const std::vector<std::uint8_t>& data);
 
-  /// Inserts a wire symbol (coefficients regenerated from its seed).
+  /// Inserts a wire symbol, taking ownership of its payload bytes
+  /// (coefficients regenerated from its seed). The hot-path form: the
+  /// receiver moves each symbol straight off the packet.
+  bool add_symbol(net::EncodedSymbol&& symbol);
+
+  /// Copying convenience overload (tests and observers).
   bool add_symbol(const net::EncodedSymbol& symbol);
 
   /// Current number of linearly independent symbols, k̄_b.
@@ -64,6 +78,7 @@ class BlockDecoder {
   std::uint32_t symbols_;
   std::size_t symbol_bytes_;
   bool track_data_;
+  BufferPool* pool_ = nullptr;
   std::uint32_t rank_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t redundant_ = 0;

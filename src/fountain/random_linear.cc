@@ -16,13 +16,20 @@ BitVector coefficients_from_seed(std::uint64_t seed, std::uint32_t k) {
 
 std::vector<std::uint8_t> encode_with_coefficients(const BlockData& block,
                                                    const BitVector& coeffs) {
+  std::vector<std::uint8_t> out;
+  encode_with_coefficients_into(block, coeffs, out);
+  return out;
+}
+
+void encode_with_coefficients_into(const BlockData& block,
+                                   const BitVector& coeffs,
+                                   std::vector<std::uint8_t>& out) {
   FMTCP_CHECK(coeffs.size() == block.symbols());
-  std::vector<std::uint8_t> out(block.symbol_bytes(), 0);
+  out.assign(block.symbol_bytes(), 0);
   for (std::uint32_t i = 0; i < block.symbols(); ++i) {
     if (!coeffs.get(i)) continue;
     xor_bytes_raw(out.data(), block.symbol(i), out.size());
   }
-  return out;
 }
 
 double decode_failure_probability(std::uint32_t k_hat, double received) {
@@ -59,13 +66,18 @@ net::EncodedSymbol RandomLinearEncoder::next_symbol() {
   s.block_symbols = symbols_;
   if (systematic_ && generated_ < symbols_) {
     s.systematic_index = static_cast<std::uint32_t>(generated_);
-    if (data_.has_value()) s.data = data_->symbol_copy(s.systematic_index);
+    if (data_.has_value()) {
+      if (pool_ != nullptr) s.data = pool_->acquire(symbol_bytes_);
+      const std::uint8_t* src = data_->symbol(s.systematic_index);
+      s.data.assign(src, src + symbol_bytes_);
+    }
   } else {
     s.coeff_seed = rng_.next_u64();
     if (data_.has_value()) {
       const BitVector coeffs =
           coefficients_from_seed(s.coeff_seed, symbols_);
-      s.data = encode_with_coefficients(*data_, coeffs);
+      if (pool_ != nullptr) s.data = pool_->acquire(symbol_bytes_);
+      encode_with_coefficients_into(*data_, coeffs, s.data);
     }
   }
   ++generated_;

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/rng.h"
 #include "fountain/block.h"
 #include "fountain/gf2.h"
@@ -25,6 +26,12 @@ BitVector coefficients_from_seed(std::uint64_t seed, std::uint32_t k);
 /// XOR of the block's symbols selected by `coeffs` (Eq. 1).
 std::vector<std::uint8_t> encode_with_coefficients(const BlockData& block,
                                                    const BitVector& coeffs);
+
+/// As above, but writes into `out` (resized and zeroed) so a recycled
+/// buffer's capacity is reused instead of allocating a fresh vector.
+void encode_with_coefficients_into(const BlockData& block,
+                                   const BitVector& coeffs,
+                                   std::vector<std::uint8_t>& out);
 
 /// Decoding-failure probability after receiving `received` random symbols
 /// of a k̂-symbol block (paper Eq. 2): 1 if received < k̂, else
@@ -55,6 +62,12 @@ class RandomLinearEncoder {
   /// systematic prefix lasts, then fresh random coefficients).
   net::EncodedSymbol next_symbol();
 
+  /// Optional buffer pool: when set, payload buffers for emitted symbols
+  /// are acquired from it instead of freshly allocated. The pool must
+  /// outlive the encoder. Does not affect the symbol stream (seeds and
+  /// bytes are identical either way).
+  void set_buffer_pool(BufferPool* pool) { pool_ = pool; }
+
   bool systematic() const { return systematic_; }
 
   std::uint64_t block_id() const { return block_id_; }
@@ -67,6 +80,7 @@ class RandomLinearEncoder {
   std::uint32_t symbols_;
   std::size_t symbol_bytes_;
   std::optional<BlockData> data_;  ///< Absent in rank-only mode.
+  BufferPool* pool_ = nullptr;
   Rng rng_;
   bool systematic_ = false;
   std::uint64_t generated_ = 0;

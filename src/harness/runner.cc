@@ -120,6 +120,9 @@ double RunResult::coding_overhead(std::uint32_t block_symbols) const {
 RunResult run_scenario(Protocol protocol, const Scenario& scenario,
                        const ProtocolOptions& options) {
   sim::Simulator simulator(scenario.seed);
+  // Per-tag dispatch counting costs a scan per event; only pay for it
+  // when someone is attached to read the profile.
+  simulator.scheduler().set_profiling(scenario.observer != nullptr);
   net::Topology topology = build_topology(simulator, scenario);
 
   RunResult result;

@@ -1,55 +1,89 @@
 #include "harness/sweep.h"
 
-#include <atomic>
 #include <cmath>
-#include <thread>
+#include <set>
+#include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace fmtcp::harness {
 
-std::vector<RunResult> run_parallel(const std::vector<SweepJob>& jobs,
-                                    unsigned threads) {
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 4;
-  }
-  threads = std::min<unsigned>(threads,
-                               static_cast<unsigned>(jobs.size()));
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs == 0 ? ThreadPool::hardware_threads() : jobs) {}
 
+std::size_t SweepRunner::submit(Protocol protocol, Scenario scenario,
+                                const ProtocolOptions& options) {
+  return submit(SweepJob{protocol, std::move(scenario), options});
+}
+
+std::size_t SweepRunner::submit(SweepJob job) {
+  queue_.push_back(std::move(job));
+  return queue_.size() - 1;
+}
+
+std::vector<RunResult> SweepRunner::run() {
+  std::vector<SweepJob> jobs = std::move(queue_);
+  queue_.clear();
   std::vector<RunResult> results(jobs.size());
   if (jobs.empty()) return results;
 
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= jobs.size()) return;
+  if (jobs_ == 1 || jobs.size() == 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
       results[i] =
           run_scenario(jobs[i].protocol, jobs[i].scenario, jobs[i].options);
     }
-  };
+    return results;
+  }
 
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  // Tracers and observers are single-threaded; concurrent cells must not
+  // share them.
+  std::set<const void*> observers;
+  for (const SweepJob& job : jobs) {
+    FMTCP_CHECK(job.scenario.tracer == nullptr);
+    if (job.scenario.observer != nullptr) {
+      FMTCP_CHECK(observers.insert(job.scenario.observer).second);
+    }
+  }
+
+  const unsigned threads =
+      std::min<unsigned>(jobs_, static_cast<unsigned>(jobs.size()));
+  ThreadPool pool(threads);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pool.submit([&jobs, &results, i] {
+      results[i] =
+          run_scenario(jobs[i].protocol, jobs[i].scenario, jobs[i].options);
+    });
+  }
+  pool.wait();
   return results;
+}
+
+unsigned jobs_from_flags(FlagParser& flags) {
+  const std::int64_t jobs = flags.get_int(
+      "jobs", 0, "max concurrent simulations (0 = hardware concurrency)");
+  FMTCP_CHECK(jobs >= 0);
+  return static_cast<unsigned>(jobs);
+}
+
+std::vector<RunResult> run_parallel(const std::vector<SweepJob>& jobs,
+                                    unsigned threads) {
+  SweepRunner runner(threads);
+  for (const SweepJob& job : jobs) runner.submit(job);
+  return runner.run();
 }
 
 std::vector<RunResult> run_seeds(Protocol protocol, Scenario scenario,
                                  const ProtocolOptions& options,
                                  const std::vector<std::uint64_t>& seeds,
                                  unsigned threads) {
-  FMTCP_CHECK(scenario.tracer == nullptr);  // Tracers are not thread-safe.
-  std::vector<SweepJob> jobs;
-  jobs.reserve(seeds.size());
+  SweepRunner runner(threads);
   for (std::uint64_t seed : seeds) {
     SweepJob job{protocol, scenario, options};
     job.scenario.seed = seed;
-    jobs.push_back(std::move(job));
+    runner.submit(std::move(job));
   }
-  return run_parallel(jobs, threads);
+  return runner.run();
 }
 
 SeedStats aggregate(const std::vector<RunResult>& results,

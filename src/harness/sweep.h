@@ -1,14 +1,16 @@
 // Parallel scenario sweeps: run many independent simulations across
 // threads and aggregate per-seed statistics. Each simulation is fully
-// self-contained (its own Simulator, topology, RNG streams), so runs are
-// embarrassingly parallel; results are returned in job order regardless
-// of completion order, preserving determinism.
+// self-contained (its own Simulator, topology, RNG streams, packet-uid
+// stream, buffer pool), so runs are embarrassingly parallel; results are
+// returned in submission order regardless of completion order, and are
+// bit-identical to a serial run of the same cells.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "common/flags.h"
 #include "harness/runner.h"
 
 namespace fmtcp::harness {
@@ -19,8 +21,42 @@ struct SweepJob {
   ProtocolOptions options = ProtocolOptions::defaults();
 };
 
+/// Thread-pooled sweep executor: submit cells, then run() them all.
+///
+/// `jobs == 1` executes every cell inline on the calling thread, in
+/// submission order — exactly the pre-pool serial behaviour. With
+/// `jobs > 1` the cells run on a pool, but because every simulation is
+/// self-contained the RunResult vector is identical either way.
+class SweepRunner {
+ public:
+  /// `jobs` = maximum simulations in flight; 0 = hardware concurrency.
+  explicit SweepRunner(unsigned jobs = 0);
+
+  /// Queues one simulation cell; returns its index in the result vector.
+  std::size_t submit(Protocol protocol, Scenario scenario,
+                     const ProtocolOptions& options);
+  std::size_t submit(SweepJob job);
+
+  /// Runs every queued cell and returns results in submission order;
+  /// the queue is cleared for reuse. With jobs > 1, queued scenarios
+  /// must not carry tracers and must not share a non-null observer
+  /// (neither is thread-safe).
+  std::vector<RunResult> run();
+
+  unsigned jobs() const { return jobs_; }
+  std::size_t queued() const { return queue_.size(); }
+
+ private:
+  unsigned jobs_;
+  std::vector<SweepJob> queue_;
+};
+
+/// Registers and parses the shared `--jobs` flag (0 = hardware
+/// concurrency) for the bench/tool binaries.
+unsigned jobs_from_flags(FlagParser& flags);
+
 /// Runs every job, `threads` at a time (0 = hardware concurrency).
-/// Results are in job order.
+/// Results are in job order. Wrapper over SweepRunner.
 std::vector<RunResult> run_parallel(const std::vector<SweepJob>& jobs,
                                     unsigned threads = 0);
 

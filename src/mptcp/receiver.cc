@@ -21,7 +21,7 @@ std::uint32_t MptcpReceiver::advertised_window() const {
 }
 
 void MptcpReceiver::on_segment(std::uint32_t /*subflow*/,
-                               const net::Packet& p) {
+                               net::Packet& p) {
   if (p.data_len == 0) return;
   std::uint64_t start = p.data_seq;
   const std::uint64_t end = p.data_seq + p.data_len;

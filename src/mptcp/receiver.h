@@ -22,7 +22,7 @@ class MptcpReceiver final : public tcp::DataSink {
                 metrics::GoodputMeter* goodput = nullptr);
 
   // tcp::DataSink
-  void on_segment(std::uint32_t subflow, const net::Packet& p) override;
+  void on_segment(std::uint32_t subflow, net::Packet& p) override;
   void fill_ack(std::uint32_t subflow, const net::Packet& data,
                 net::Packet& ack, std::size_t& extra_bytes) override;
 

@@ -41,8 +41,8 @@ void Link::send(Packet p) {
   ++sent_;
   if (tracer_ != nullptr) {
     // The queue decision (possibly probabilistic, e.g. RED) happens in
-    // push; keep a copy so the outcome can be traced.
-    Packet copy = p;
+    // push; keep a clone so the outcome can be traced.
+    Packet copy = p.clone();
     const bool pushed = queue_->push(std::move(p));
     trace(pushed ? TraceEvent::kEnqueue : TraceEvent::kQueueDrop, copy);
     if (!pushed) return;

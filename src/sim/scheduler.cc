@@ -1,5 +1,6 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -7,27 +8,157 @@
 namespace fmtcp::sim {
 
 void EventHandle::cancel() {
-  if (state_) state_->cancelled = true;
+  if (!state_ || state_->cancelled || state_->fired) return;
+  state_->cancelled = true;
+  if (state_->owner != nullptr) state_->owner->note_cancelled();
 }
 
 bool EventHandle::pending() const {
   return state_ && !state_->cancelled && !state_->fired;
 }
 
-EventHandle Scheduler::schedule_at(SimTime when, const char* tag,
-                                   std::function<void()> fn) {
-  FMTCP_CHECK(when >= now_);
-  FMTCP_CHECK(fn != nullptr);
-  FMTCP_CHECK(tag != nullptr);
-  auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Entry{when, next_seq_++, tag, std::move(fn), state});
-  return EventHandle(std::move(state));
+PendingEvent::operator EventHandle() const {
+  return scheduler_->make_handle(seq_);
 }
 
-EventHandle Scheduler::schedule_in(SimTime delay, const char* tag,
-                                   std::function<void()> fn) {
+Scheduler::~Scheduler() {
+  // Handles may outlive the scheduler; sever the back-pointers so their
+  // cancel() calls become no-ops instead of touching freed memory.
+  for (Entry& entry : heap_) {
+    if (entry.state) entry.state->owner = nullptr;
+  }
+}
+
+PendingEvent Scheduler::schedule_at(SimTime when, const char* tag,
+                                    UniqueFunction fn) {
+  FMTCP_CHECK(when >= now_);
+  FMTCP_CHECK(static_cast<bool>(fn));
+  FMTCP_CHECK(tag != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{when, seq, tag, std::move(fn), nullptr});
+  sift_up(heap_.size() - 1);
+  return PendingEvent(this, seq);
+}
+
+PendingEvent Scheduler::schedule_in(SimTime delay, const char* tag,
+                                    UniqueFunction fn) {
   FMTCP_CHECK(delay >= 0);
   return schedule_at(now_ + delay, tag, std::move(fn));
+}
+
+void Scheduler::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+  last_push_index_ = i;
+}
+
+void Scheduler::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) return;
+    std::size_t least = left;
+    const std::size_t right = left + 1;
+    if (right < n && before(heap_[right], heap_[left])) least = right;
+    if (!before(heap_[least], heap_[i])) return;
+    std::swap(heap_[i], heap_[least]);
+    i = least;
+  }
+}
+
+Scheduler::Entry Scheduler::pop_top() {
+  FMTCP_DCHECK(!heap_.empty());
+  Entry top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return top;
+}
+
+EventHandle Scheduler::make_handle(std::uint64_t seq) {
+  Entry* entry = nullptr;
+  if (last_push_index_ < heap_.size() &&
+      heap_[last_push_index_].seq == seq) {
+    entry = &heap_[last_push_index_];
+  } else {
+    // The conversion normally happens in the statement that scheduled
+    // the event, before any other heap operation; fall back to a scan if
+    // a future caller holds the proxy across other scheduling.
+    for (Entry& e : heap_) {
+      if (e.seq == seq) {
+        entry = &e;
+        break;
+      }
+    }
+  }
+  if (entry == nullptr) return EventHandle();  // Already executed.
+  if (!entry->state) {
+    entry->state = acquire_state();
+  }
+  ++handles_created_;
+  return EventHandle(entry->state);
+}
+
+std::shared_ptr<EventHandle::State> Scheduler::acquire_state() {
+  if (!state_pool_.empty()) {
+    std::shared_ptr<EventHandle::State> state =
+        std::move(state_pool_.back());
+    state_pool_.pop_back();
+    state->cancelled = false;
+    state->fired = false;
+    state->owner = this;
+    ++states_reused_;
+    return state;
+  }
+  auto state = std::make_shared<EventHandle::State>();
+  state->owner = this;
+  return state;
+}
+
+void Scheduler::recycle_state(
+    std::shared_ptr<EventHandle::State>&& state) {
+  if (!state) return;
+  state->owner = nullptr;
+  // Recycle only when the queue held the last reference; a live handle
+  // keeps the block until it is itself destroyed (outlive-safety).
+  if (state.use_count() == 1) {
+    state_pool_.push_back(std::move(state));
+  } else {
+    state.reset();
+  }
+}
+
+void Scheduler::note_cancelled() {
+  ++cancelled_in_queue_;
+  if (heap_.size() >= kCompactMinQueue &&
+      cancelled_in_queue_ > heap_.size() / 2) {
+    compact();
+  }
+}
+
+void Scheduler::compact() {
+  ++compactions_;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (heap_[i].state && heap_[i].state->cancelled) {
+      recycle_state(std::move(heap_[i].state));
+      continue;
+    }
+    if (kept != i) heap_[kept] = std::move(heap_[i]);
+    ++kept;
+  }
+  heap_.resize(kept);
+  cancelled_in_queue_ = 0;
+  std::make_heap(heap_.begin(), heap_.end(),
+                 [](const Entry& a, const Entry& b) {
+                   return before(b, a);  // make_heap wants "less" = later.
+                 });
+  // The heap moved under the push hint; invalidate it.
+  last_push_index_ = heap_.size();
 }
 
 void Scheduler::note_executed(const char* tag) {
@@ -51,17 +182,22 @@ Scheduler::dispatch_profile() const {
 }
 
 bool Scheduler::step() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; move out via const_cast, standard
-    // practice for heap-of-move-only payloads.
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    if (entry.state->cancelled) continue;
+  while (!heap_.empty()) {
+    Entry entry = pop_top();
+    if (entry.state) {
+      if (entry.state->cancelled) {
+        FMTCP_DCHECK(cancelled_in_queue_ > 0);
+        --cancelled_in_queue_;
+        recycle_state(std::move(entry.state));
+        continue;
+      }
+      entry.state->fired = true;
+    }
     FMTCP_DCHECK(entry.when >= now_);
     now_ = entry.when;
-    entry.state->fired = true;
     ++executed_;
-    note_executed(entry.tag);
+    if (profiling_) note_executed(entry.tag);
+    recycle_state(std::move(entry.state));
     entry.fn();
     return true;
   }
@@ -70,12 +206,16 @@ bool Scheduler::step() {
 
 void Scheduler::run_until(SimTime deadline) {
   FMTCP_CHECK(deadline >= now_);
-  while (!queue_.empty()) {
-    if (queue_.top().state->cancelled) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
+    if (top.state && top.state->cancelled) {
+      Entry dead = pop_top();
+      FMTCP_DCHECK(cancelled_in_queue_ > 0);
+      --cancelled_in_queue_;
+      recycle_state(std::move(dead.state));
       continue;
     }
-    if (queue_.top().when > deadline) break;
+    if (top.when > deadline) break;
     step();
   }
   now_ = deadline;

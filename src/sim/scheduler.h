@@ -2,20 +2,30 @@
 //
 // Events are (time, callback) pairs ordered by time with FIFO tie-breaking
 // (insertion sequence), which makes runs fully deterministic. Cancellation
-// is lazy: a cancelled event stays in the heap but its callback is skipped.
+// is lazy: a cancelled event stays in the heap but its callback is skipped;
+// when lazily-cancelled entries exceed half the queue the heap is compacted
+// in one pass so pathological cancel/re-arm churn cannot grow it unboundedly.
+//
+// Hot-path design: an event only gets a cancellation control block when the
+// caller actually keeps the returned handle — `schedule_*` returns a
+// lightweight PendingEvent proxy, and binding it to an EventHandle is what
+// materialises the control block, drawn from a per-scheduler free list.
+// Fire-and-forget events (the overwhelming majority: link deliveries,
+// pokes, ...) allocate nothing beyond their callback.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/time.h"
+#include "common/unique_function.h"
 
 namespace fmtcp::sim {
+
+class Scheduler;
 
 /// Handle for cancelling a scheduled event. Cheap to copy; outliving the
 /// scheduler is safe (cancel becomes a no-op).
@@ -34,15 +44,40 @@ class EventHandle {
   struct State {
     bool cancelled = false;
     bool fired = false;
+    /// Owning scheduler, for cancellation bookkeeping; nulled when the
+    /// event fires, is reaped, or the scheduler dies first.
+    Scheduler* owner = nullptr;
   };
   explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
   std::shared_ptr<State> state_;
+};
+
+/// Result of `schedule_*`: converts to an EventHandle if (and only if)
+/// the caller wants one. A discarded PendingEvent costs nothing — no
+/// control block is ever allocated for the event. Consume it in the same
+/// statement that scheduled the event (it references the just-pushed
+/// entry); it cannot be stored.
+class PendingEvent {
+ public:
+  PendingEvent(const PendingEvent&) = delete;
+  PendingEvent& operator=(const PendingEvent&) = delete;
+
+  /// Materialises a cancellation handle for the event.
+  operator EventHandle() const;  // NOLINT(google-explicit-constructor)
+
+ private:
+  friend class Scheduler;
+  PendingEvent(Scheduler* scheduler, std::uint64_t seq)
+      : scheduler_(scheduler), seq_(seq) {}
+  Scheduler* scheduler_;
+  std::uint64_t seq_;
 };
 
 /// Min-heap event queue with a monotonically advancing clock.
 class Scheduler {
  public:
   Scheduler() = default;
+  ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
@@ -54,18 +89,18 @@ class Scheduler {
   /// string literal (or otherwise outlive the scheduler) — profiling
   /// keys on the pointer, not the contents. Untagged events count as
   /// "event".
-  EventHandle schedule_at(SimTime when, std::function<void()> fn) {
+  PendingEvent schedule_at(SimTime when, UniqueFunction fn) {
     return schedule_at(when, kDefaultTag, std::move(fn));
   }
-  EventHandle schedule_at(SimTime when, const char* tag,
-                          std::function<void()> fn);
+  PendingEvent schedule_at(SimTime when, const char* tag,
+                           UniqueFunction fn);
 
   /// Schedules `fn` to run `delay` (>= 0) after now().
-  EventHandle schedule_in(SimTime delay, std::function<void()> fn) {
+  PendingEvent schedule_in(SimTime delay, UniqueFunction fn) {
     return schedule_in(delay, kDefaultTag, std::move(fn));
   }
-  EventHandle schedule_in(SimTime delay, const char* tag,
-                          std::function<void()> fn);
+  PendingEvent schedule_in(SimTime delay, const char* tag,
+                           UniqueFunction fn);
 
   /// Runs the next non-cancelled event; returns false if the queue is
   /// empty. Advances now() to the event's time before invoking it.
@@ -83,38 +118,88 @@ class Scheduler {
   std::uint64_t executed_count() const { return executed_; }
 
   /// Events currently queued, including lazily-cancelled ones.
-  std::size_t queued_count() const { return queue_.size(); }
+  std::size_t queued_count() const { return heap_.size(); }
+
+  /// Enables per-tag dispatch profiling. Off by default so the common
+  /// no-observer run pays nothing per dispatch; harness::run_scenario
+  /// turns it on when a Scenario has an observer attached.
+  void set_profiling(bool on) { profiling_ = on; }
+  bool profiling() const { return profiling_; }
 
   /// Executed-event counts per schedule tag (event-loop profiling).
+  /// Empty unless set_profiling(true) was active during the run.
   std::vector<std::pair<std::string, std::uint64_t>> dispatch_profile()
       const;
 
+  // --- Control-block pool diagnostics (tests / benches) ---
+
+  /// Handles materialised since construction.
+  std::uint64_t handles_created() const { return handles_created_; }
+  /// Handle control blocks served from the free list (not allocated).
+  std::uint64_t handle_states_reused() const { return states_reused_; }
+  /// Lazily-cancelled entries currently in the heap.
+  std::size_t cancelled_in_queue() const { return cancelled_in_queue_; }
+  /// Times the heap was compacted to drop cancelled entries.
+  std::uint64_t compactions() const { return compactions_; }
+
  private:
+  friend class EventHandle;
+  friend class PendingEvent;
+
   static constexpr const char* kDefaultTag = "event";
+  /// Below this queue size compaction is never worth the pass.
+  static constexpr std::size_t kCompactMinQueue = 64;
 
   struct Entry {
     SimTime when;
     std::uint64_t seq;
     const char* tag;
-    std::function<void()> fn;
+    UniqueFunction fn;
+    /// Null for the (common) fire-and-forget events nobody can cancel.
     std::shared_ptr<EventHandle::State> state;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+
+  /// True if a fires strictly before b (earlier time, then lower seq).
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
 
   void note_executed(const char* tag);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Removes and returns the earliest entry; heap must be non-empty.
+  Entry pop_top();
+  /// Materialises (or returns the existing) control block for `seq`.
+  EventHandle make_handle(std::uint64_t seq);
+  std::shared_ptr<EventHandle::State> acquire_state();
+  /// Returns a state to the free list if no handle still references it.
+  void recycle_state(std::shared_ptr<EventHandle::State>&& state);
+  /// Called via EventHandle::cancel for events still queued here.
+  void note_cancelled();
+  /// Drops every lazily-cancelled entry and restores the heap property.
+  void compact();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  bool profiling_ = false;
   /// Per-tag executed counts, keyed by tag pointer (string literals);
-  /// a handful of entries, scanned linearly on each dispatch.
+  /// a handful of entries, scanned linearly on each profiled dispatch.
   std::vector<std::pair<const char*, std::uint64_t>> executed_by_tag_;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+
+  /// Binary min-heap ordered by `before`.
+  std::vector<Entry> heap_;
+  /// Where the most recent push landed, so PendingEvent -> EventHandle
+  /// conversion finds its entry in O(1) (it happens before any other
+  /// heap operation; a linear scan backstops the assumption).
+  std::size_t last_push_index_ = 0;
+
+  std::vector<std::shared_ptr<EventHandle::State>> state_pool_;
+  std::size_t cancelled_in_queue_ = 0;
+  std::uint64_t handles_created_ = 0;
+  std::uint64_t states_reused_ = 0;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace fmtcp::sim

@@ -1,12 +1,16 @@
-// Simulator: scheduler + root RNG, the per-run context object.
+// Simulator: scheduler + root RNG + per-run resource pools, the per-run
+// context object.
 //
 // Every simulation component holds a Simulator& and uses it for time,
-// event scheduling, and seeded randomness. One Simulator == one run.
+// event scheduling, seeded randomness, payload-buffer recycling, and
+// packet uids. One Simulator == one run; nothing here is shared across
+// runs, which is what makes parallel sweeps race-free by construction.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
+#include "common/buffer_pool.h"
 #include "common/rng.h"
 #include "sim/scheduler.h"
 
@@ -21,20 +25,20 @@ class Simulator {
 
   SimTime now() const { return scheduler_.now(); }
 
-  EventHandle schedule_at(SimTime when, std::function<void()> fn) {
+  PendingEvent schedule_at(SimTime when, UniqueFunction fn) {
     return scheduler_.schedule_at(when, std::move(fn));
   }
-  EventHandle schedule_in(SimTime delay, std::function<void()> fn) {
+  PendingEvent schedule_in(SimTime delay, UniqueFunction fn) {
     return scheduler_.schedule_in(delay, std::move(fn));
   }
   /// Tagged variants label the event for the dispatch profile
   /// (`tag` must outlive the run; use a string literal).
-  EventHandle schedule_at(SimTime when, const char* tag,
-                          std::function<void()> fn) {
+  PendingEvent schedule_at(SimTime when, const char* tag,
+                           UniqueFunction fn) {
     return scheduler_.schedule_at(when, tag, std::move(fn));
   }
-  EventHandle schedule_in(SimTime delay, const char* tag,
-                          std::function<void()> fn) {
+  PendingEvent schedule_in(SimTime delay, const char* tag,
+                           UniqueFunction fn) {
     return scheduler_.schedule_in(delay, tag, std::move(fn));
   }
 
@@ -48,9 +52,20 @@ class Simulator {
   /// component at construction so streams do not depend on event order.
   Rng fork_rng() { return root_rng_.fork(); }
 
+  /// Recycler for packet / symbol payload buffers within this run.
+  BufferPool& buffer_pool() { return buffer_pool_; }
+
+  /// Per-run packet uid stream (1, 2, 3, ...). Keeping the counter on
+  /// the Simulator makes uids deterministic per cell no matter how many
+  /// sweeps run concurrently (net::next_packet_uid() is the
+  /// process-global fallback for code without a Simulator).
+  std::uint64_t next_packet_uid() { return next_packet_uid_++; }
+
  private:
   Scheduler scheduler_;
   Rng root_rng_;
+  BufferPool buffer_pool_;
+  std::uint64_t next_packet_uid_ = 1;
 };
 
 }  // namespace fmtcp::sim

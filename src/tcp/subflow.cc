@@ -240,7 +240,7 @@ void Subflow::try_send() {
 }
 
 net::Packet Subflow::build_packet(std::uint64_t seq,
-                                  const SegmentContent& content) {
+                                  SegmentContent& content) {
   net::Packet p;
   p.kind = net::PacketKind::kData;
   p.subflow = config_.id;
@@ -248,10 +248,23 @@ net::Packet Subflow::build_packet(std::uint64_t seq,
   p.seq = seq;
   p.data_seq = content.data_seq;
   p.data_len = content.data_len;
-  p.symbols = content.symbols;
+  if (config_.fresh_payload_on_retransmit) {
+    // Coded protocols never resend stored payload bytes, so the symbol
+    // rows travel by move; only coefficient metadata stays behind for
+    // ACK/loss accounting.
+    p.symbols.reserve(content.symbols.size());
+    for (net::EncodedSymbol& symbol : content.symbols) {
+      p.symbols.push_back({symbol.block, symbol.block_symbols,
+                           symbol.coeff_seed, symbol.systematic_index,
+                           std::move(symbol.data)});
+      symbol.data.clear();
+    }
+  } else {
+    p.symbols = content.symbols;
+  }
   net::finalize_size(p, content.payload_bytes);
   p.sent_at = simulator_.now();
-  p.uid = net::next_packet_uid();
+  p.uid = simulator_.next_packet_uid();
   return p;
 }
 
@@ -417,13 +430,14 @@ void SubflowReceiver::on_data_packet(net::Packet p) {
   }
 
   // Content is consumed on arrival regardless of subflow-level order:
-  // FMTCP symbols are order-free, MPTCP reassembles by data_seq.
+  // FMTCP symbols are order-free, MPTCP reassembles by data_seq. The
+  // sink may take the payload bytes; the metadata we ACK from remains.
   sink_.on_segment(id_, p);
 
   if (config_.delayed_acks && in_order && !duplicate) {
     ++unacked_in_order_;
     if (unacked_in_order_ < config_.ack_every) {
-      pending_ack_for_ = p;
+      pending_ack_for_ = std::move(p);
       ack_pending_ = true;
       if (!delack_timer_.pending()) {
         delack_timer_.schedule(config_.delack_timeout);
@@ -451,7 +465,7 @@ void SubflowReceiver::send_ack(const net::Packet& p) {
   ack.ack_next = rcv_next_;
   ack.echo_sent_at = p.sent_at;
   ack.sent_at = simulator_.now();
-  ack.uid = net::next_packet_uid();
+  ack.uid = simulator_.next_packet_uid();
 
   // Advertise up to four SACK ranges over the out-of-order segments
   // (senders without SACK enabled simply ignore them).

@@ -211,7 +211,12 @@ class Subflow {
   void try_send();
   void send_new_segment(SegmentContent content);
   void retransmit(std::uint64_t seq);
-  net::Packet build_packet(std::uint64_t seq, const SegmentContent& content);
+  /// Builds the wire packet for `content`. In fresh-payload mode the
+  /// symbol payload rows are MOVED into the packet (the stored content
+  /// keeps coefficient metadata only, which is all loss accounting
+  /// needs); stored-payload mode (IETF-MPTCP) copies, as its
+  /// retransmissions resend the stored segment.
+  net::Packet build_packet(std::uint64_t seq, SegmentContent& content);
   void on_rto();
   void note_acked_for_loss_est();
   void note_lost_for_loss_est();
@@ -270,8 +275,11 @@ class DataSink {
 
   /// Every arriving data segment (in order or not, duplicate seq or not)
   /// is delivered; content-level dedup is the upper layer's job (MPTCP
-  /// reassembly by data_seq; FMTCP symbol rank check).
-  virtual void on_segment(std::uint32_t subflow, const net::Packet& p) = 0;
+  /// reassembly by data_seq; FMTCP symbol rank check). The sink may MOVE
+  /// the symbol payload bytes out of `p` (the decoder takes ownership of
+  /// rows it keeps), but must leave all metadata — including the symbol
+  /// block ids — intact: the subflow still builds the ACK from them.
+  virtual void on_segment(std::uint32_t subflow, net::Packet& p) = 0;
 
   /// Piggybacks upper-layer fields (block ACKs, data ACK, window) onto
   /// the subflow-level ACK about to be sent for `data`. `extra_bytes`

@@ -1,0 +1,56 @@
+#include "common/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace fmtcp {
+namespace {
+
+TEST(BufferPool, AcquireReturnsRequestedSize) {
+  BufferPool pool;
+  const auto buffer = pool.acquire(160);
+  EXPECT_EQ(buffer.size(), 160u);
+  EXPECT_EQ(pool.acquired(), 1u);
+  EXPECT_EQ(pool.reused(), 0u);
+}
+
+TEST(BufferPool, ReleasedBufferIsReused) {
+  BufferPool pool;
+  auto buffer = pool.acquire(160);
+  const std::uint8_t* storage = buffer.data();
+  pool.release(std::move(buffer));
+  EXPECT_EQ(pool.free_count(), 1u);
+
+  const auto again = pool.acquire(160);
+  EXPECT_EQ(again.size(), 160u);
+  EXPECT_EQ(again.data(), storage);  // Same allocation came back.
+  EXPECT_EQ(pool.reused(), 1u);
+  EXPECT_EQ(pool.free_count(), 0u);
+}
+
+TEST(BufferPool, ReuseResizesToRequest) {
+  BufferPool pool;
+  pool.release(std::vector<std::uint8_t>(32, 0xAB));
+  const auto bigger = pool.acquire(64);
+  EXPECT_EQ(bigger.size(), 64u);
+
+  pool.release(std::vector<std::uint8_t>(64, 0xCD));
+  const auto smaller = pool.acquire(16);
+  EXPECT_EQ(smaller.size(), 16u);
+}
+
+TEST(BufferPool, EmptyReleaseIgnored) {
+  BufferPool pool;
+  pool.release({});
+  EXPECT_EQ(pool.free_count(), 0u);
+}
+
+TEST(BufferPool, FreeListCapped) {
+  BufferPool pool(/*max_free=*/2);
+  for (int i = 0; i < 5; ++i) {
+    pool.release(std::vector<std::uint8_t>(8, 0));
+  }
+  EXPECT_EQ(pool.free_count(), 2u);
+}
+
+}  // namespace
+}  // namespace fmtcp

@@ -1,0 +1,71 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace fmtcp {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, WaitWithNothingSubmitted) {
+  ThreadPool pool(2);
+  pool.wait();  // Must not hang.
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.submit([&done] { done.fetch_add(1); });
+  pool.wait();
+  pool.submit([&done] { done.fetch_add(1); });
+  pool.submit([&done] { done.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(done.load(), 3);
+}
+
+TEST(ThreadPool, TasksWritingDisjointSlots) {
+  // The sweep layer's usage pattern: each task owns one result slot.
+  std::vector<int> results(64, 0);
+  ThreadPool pool(8);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    pool.submit([&results, i] { results[i] = static_cast<int>(i) + 1; });
+  }
+  pool.wait();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+  }  // ~ThreadPool waits for queued work.
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, ThreadCountMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+}  // namespace
+}  // namespace fmtcp

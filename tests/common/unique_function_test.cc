@@ -1,0 +1,76 @@
+#include "common/unique_function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+namespace fmtcp {
+namespace {
+
+TEST(UniqueFunction, DefaultIsEmpty) {
+  UniqueFunction fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(UniqueFunction, InvokesInlineCapture) {
+  int calls = 0;
+  UniqueFunction fn = [&calls] { ++calls; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(UniqueFunction, InvokesHeapSpilledCapture) {
+  // A capture too large for the inline buffer takes the heap path.
+  std::array<int, 64> big{};
+  big[0] = 7;
+  big[63] = 9;
+  int sum = 0;
+  UniqueFunction fn = [big, &sum] { sum = big[0] + big[63]; };
+  fn();
+  EXPECT_EQ(sum, 16);
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCapture) {
+  // The reason this class exists: std::function rejects this lambda.
+  auto value = std::make_unique<int>(41);
+  int seen = 0;
+  UniqueFunction fn = [v = std::move(value), &seen] { seen = *v + 1; };
+  fn();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(UniqueFunction, MoveTransfersTarget) {
+  int calls = 0;
+  UniqueFunction a = [&calls] { ++calls; };
+  UniqueFunction b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(UniqueFunction, MoveAssignReplacesTarget) {
+  int first = 0, second = 0;
+  UniqueFunction fn = [&first] { ++first; };
+  fn = [&second] { ++second; };
+  fn();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(UniqueFunction, DestroysCaptureExactlyOnce) {
+  auto counter = std::make_shared<int>(0);
+  {
+    UniqueFunction fn = [counter] { /* keep alive */ };
+    EXPECT_EQ(counter.use_count(), 2);
+    UniqueFunction moved = std::move(fn);
+    EXPECT_EQ(counter.use_count(), 2);  // Move, not copy.
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+}  // namespace
+}  // namespace fmtcp

@@ -42,6 +42,10 @@ struct Fixture {
   metrics::GoodputMeter goodput{kSecond};
   FmtcpParams params = small_params();
   FmtcpReceiver receiver{sim, params, &goodput};
+
+  // on_segment takes a mutable lvalue (it moves payloads off the packet);
+  // this adapter lets tests feed freshly built packets inline.
+  void deliver(net::Packet p) { receiver.on_segment(0, p); }
 };
 
 TEST(FmtcpReceiver, DecodesAndDeliversInOrder) {
@@ -49,9 +53,9 @@ TEST(FmtcpReceiver, DecodesAndDeliversInOrder) {
   auto enc0 = encoder_for(0, f.params, 5);
   auto enc1 = encoder_for(1, f.params, 6);
   // Block 1 completes first but must wait for block 0.
-  f.receiver.on_segment(0, symbol_packet(enc1, 12));
+  f.deliver(symbol_packet(enc1, 12));
   EXPECT_EQ(f.receiver.blocks_delivered(), 0u);
-  f.receiver.on_segment(0, symbol_packet(enc0, 12));
+  f.deliver(symbol_packet(enc0, 12));
   EXPECT_EQ(f.receiver.blocks_delivered(), 2u);
   EXPECT_EQ(f.receiver.deliver_next(), 2u);
   EXPECT_TRUE(f.receiver.payload_verified());
@@ -61,9 +65,9 @@ TEST(FmtcpReceiver, DecodesAndDeliversInOrder) {
 TEST(FmtcpReceiver, RedundantSymbolsCounted) {
   Fixture f;
   auto enc = encoder_for(0, f.params, 5);
-  f.receiver.on_segment(0, symbol_packet(enc, 12));  // Decodes block 0.
+  f.deliver(symbol_packet(enc, 12));  // Decodes block 0.
   const std::uint64_t redundant = f.receiver.redundant_symbols();
-  f.receiver.on_segment(0, symbol_packet(enc, 3));  // All redundant now.
+  f.deliver(symbol_packet(enc, 3));  // All redundant now.
   EXPECT_EQ(f.receiver.redundant_symbols(), redundant + 3);
 }
 
@@ -99,7 +103,7 @@ TEST(FmtcpReceiver, AckMentionsFirstUndecodedBlock) {
   Fixture f;
   auto enc0 = encoder_for(0, f.params, 5);
   auto enc1 = encoder_for(1, f.params, 6);
-  f.receiver.on_segment(0, symbol_packet(enc0, 2));  // Block 0 partial.
+  f.deliver(symbol_packet(enc0, 2));  // Block 0 partial.
   net::Packet block1_packet = symbol_packet(enc1, 2);
   f.receiver.on_segment(0, block1_packet);
 
@@ -117,7 +121,7 @@ TEST(FmtcpReceiver, RecentlyDecodedEchoedForAckLossRepair) {
   Fixture f;
   auto enc0 = encoder_for(0, f.params, 5);
   auto enc1 = encoder_for(1, f.params, 6);
-  f.receiver.on_segment(0, symbol_packet(enc0, 12));  // Decode block 0.
+  f.deliver(symbol_packet(enc0, 12));  // Decode block 0.
   // A later packet with only block-1 symbols must still re-announce
   // block 0's decode (the previous ACK may have been lost).
   net::Packet block1_packet = symbol_packet(enc1, 2);
@@ -135,7 +139,7 @@ TEST(FmtcpReceiver, RecentlyDecodedEchoedForAckLossRepair) {
 TEST(FmtcpReceiver, BufferOccupancyTracksUndeliveredData) {
   Fixture f;
   auto enc1 = encoder_for(1, f.params, 6);
-  f.receiver.on_segment(0, symbol_packet(enc1, 12));  // Decoded, held.
+  f.deliver(symbol_packet(enc1, 12));  // Decoded, held.
   EXPECT_GE(f.receiver.max_buffered_bytes(), f.params.block_bytes());
 }
 
@@ -148,7 +152,7 @@ TEST(FmtcpReceiver, CorruptPayloadDetected) {
       fountain::make_deterministic_block(99, f.params.block_symbols,
                                          f.params.symbol_bytes),
       Rng(7));
-  f.receiver.on_segment(0, symbol_packet(wrong, 12));
+  f.deliver(symbol_packet(wrong, 12));
   EXPECT_EQ(f.receiver.blocks_delivered(), 1u);  // Decodes fine...
   EXPECT_FALSE(f.receiver.payload_verified());   // ...but fails the check.
 }

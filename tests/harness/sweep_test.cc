@@ -12,6 +12,100 @@ Scenario short_scenario() {
   return scenario;
 }
 
+/// Asserts two RunResults are bit-identical in every deterministic field
+/// (wall_seconds is the one legitimately nondeterministic member).
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const char* context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(a.protocol, b.protocol);
+  EXPECT_EQ(a.delivered_bytes, b.delivered_bytes);
+  EXPECT_EQ(a.goodput_MBps, b.goodput_MBps);
+  EXPECT_EQ(a.goodput_series_MBps, b.goodput_series_MBps);
+  EXPECT_EQ(a.blocks_completed, b.blocks_completed);
+  EXPECT_EQ(a.mean_delay_ms, b.mean_delay_ms);
+  EXPECT_EQ(a.jitter_ms, b.jitter_ms);
+  EXPECT_EQ(a.max_delay_ms, b.max_delay_ms);
+  EXPECT_EQ(a.block_delays_ms, b.block_delays_ms);
+  EXPECT_EQ(a.redundant_symbols, b.redundant_symbols);
+  EXPECT_EQ(a.symbols_sent, b.symbols_sent);
+  EXPECT_EQ(a.payload_ok, b.payload_ok);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  ASSERT_EQ(a.subflows.size(), b.subflows.size());
+  for (std::size_t i = 0; i < a.subflows.size(); ++i) {
+    EXPECT_EQ(a.subflows[i].segments_sent, b.subflows[i].segments_sent);
+    EXPECT_EQ(a.subflows[i].retransmissions,
+              b.subflows[i].retransmissions);
+    EXPECT_EQ(a.subflows[i].timeouts, b.subflows[i].timeouts);
+    EXPECT_EQ(a.subflows[i].final_cwnd, b.subflows[i].final_cwnd);
+    EXPECT_EQ(a.subflows[i].loss_estimate, b.subflows[i].loss_estimate);
+  }
+}
+
+/// The core determinism contract: the same cells produce bit-identical
+/// results whether run serially or on 2 or 8 threads.
+TEST(SweepRunner, BitIdenticalAcrossJobCounts) {
+  const auto run_with_jobs = [](unsigned jobs) {
+    SweepRunner runner(jobs);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      Scenario scenario = short_scenario();
+      scenario.seed = seed;
+      runner.submit(Protocol::kFmtcp, scenario,
+                    ProtocolOptions::defaults());
+    }
+    Scenario mptcp_scenario = short_scenario();
+    runner.submit(Protocol::kMptcp, mptcp_scenario,
+                  ProtocolOptions::defaults());
+    return runner.run();
+  };
+
+  const std::vector<RunResult> serial = run_with_jobs(1);
+  const std::vector<RunResult> two = run_with_jobs(2);
+  const std::vector<RunResult> eight = run_with_jobs(8);
+  ASSERT_EQ(serial.size(), 5u);
+  ASSERT_EQ(two.size(), 5u);
+  ASSERT_EQ(eight.size(), 5u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], two[i], "jobs=2 vs jobs=1");
+    expect_identical(serial[i], eight[i], "jobs=8 vs jobs=1");
+  }
+}
+
+TEST(SweepRunner, SubmitReturnsResultIndex) {
+  SweepRunner runner(2);
+  EXPECT_EQ(runner.submit(Protocol::kFmtcp, short_scenario(),
+                          ProtocolOptions::defaults()),
+            0u);
+  EXPECT_EQ(runner.submit(Protocol::kMptcp, short_scenario(),
+                          ProtocolOptions::defaults()),
+            1u);
+  EXPECT_EQ(runner.queued(), 2u);
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].protocol, Protocol::kFmtcp);
+  EXPECT_EQ(results[1].protocol, Protocol::kMptcp);
+}
+
+TEST(SweepRunner, ReusableAfterRun) {
+  SweepRunner runner(2);
+  runner.submit(Protocol::kFmtcp, short_scenario(),
+                ProtocolOptions::defaults());
+  const auto first = runner.run();
+  EXPECT_EQ(runner.queued(), 0u);
+  // Indices restart for the next batch.
+  EXPECT_EQ(runner.submit(Protocol::kFmtcp, short_scenario(),
+                          ProtocolOptions::defaults()),
+            0u);
+  const auto second = runner.run();
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  expect_identical(first[0], second[0], "same cell re-run");
+}
+
+TEST(SweepRunner, EmptyRun) {
+  SweepRunner runner(4);
+  EXPECT_TRUE(runner.run().empty());
+}
+
 TEST(Sweep, ParallelMatchesSerial) {
   std::vector<SweepJob> jobs;
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {

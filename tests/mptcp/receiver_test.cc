@@ -17,11 +17,15 @@ struct Fixture {
   sim::Simulator sim{1};
   metrics::GoodputMeter goodput{kSecond};
   MptcpReceiver receiver{sim, 1000, &goodput};
+
+  // on_segment takes a mutable lvalue; this adapter lets tests feed
+  // freshly built packets inline.
+  void deliver(net::Packet p) { receiver.on_segment(0, p); }
 };
 
 TEST(MptcpReceiver, InOrderDeliversImmediately) {
   Fixture f;
-  f.receiver.on_segment(0, data(0, 100));
+  f.deliver(data(0, 100));
   EXPECT_EQ(f.receiver.rcv_data_next(), 100u);
   EXPECT_EQ(f.receiver.delivered_bytes(), 100u);
   EXPECT_EQ(f.receiver.out_of_order_bytes(), 0u);
@@ -29,10 +33,10 @@ TEST(MptcpReceiver, InOrderDeliversImmediately) {
 
 TEST(MptcpReceiver, OutOfOrderHeldThenDelivered) {
   Fixture f;
-  f.receiver.on_segment(0, data(100, 100));
+  f.deliver(data(100, 100));
   EXPECT_EQ(f.receiver.rcv_data_next(), 0u);
   EXPECT_EQ(f.receiver.out_of_order_bytes(), 100u);
-  f.receiver.on_segment(0, data(0, 100));
+  f.deliver(data(0, 100));
   EXPECT_EQ(f.receiver.rcv_data_next(), 200u);
   EXPECT_EQ(f.receiver.delivered_bytes(), 200u);
   EXPECT_EQ(f.receiver.out_of_order_bytes(), 0u);
@@ -41,24 +45,24 @@ TEST(MptcpReceiver, OutOfOrderHeldThenDelivered) {
 TEST(MptcpReceiver, WindowShrinksWithHeldBytes) {
   Fixture f;
   EXPECT_EQ(f.receiver.advertised_window(), 1000u);
-  f.receiver.on_segment(0, data(100, 300));
+  f.deliver(data(100, 300));
   EXPECT_EQ(f.receiver.advertised_window(), 700u);
-  f.receiver.on_segment(0, data(0, 100));
+  f.deliver(data(0, 100));
   EXPECT_EQ(f.receiver.advertised_window(), 1000u);
 }
 
 TEST(MptcpReceiver, DuplicateFullyBelowAck) {
   Fixture f;
-  f.receiver.on_segment(0, data(0, 100));
-  f.receiver.on_segment(0, data(0, 100));
+  f.deliver(data(0, 100));
+  f.deliver(data(0, 100));
   EXPECT_EQ(f.receiver.delivered_bytes(), 100u);
   EXPECT_EQ(f.receiver.duplicate_bytes(), 100u);
 }
 
 TEST(MptcpReceiver, PartialOverlapClipped) {
   Fixture f;
-  f.receiver.on_segment(0, data(0, 100));
-  f.receiver.on_segment(0, data(50, 100));  // 50 dup + 50 new.
+  f.deliver(data(0, 100));
+  f.deliver(data(50, 100));  // 50 dup + 50 new.
   EXPECT_EQ(f.receiver.rcv_data_next(), 150u);
   EXPECT_EQ(f.receiver.delivered_bytes(), 150u);
   EXPECT_EQ(f.receiver.duplicate_bytes(), 50u);
@@ -66,29 +70,29 @@ TEST(MptcpReceiver, PartialOverlapClipped) {
 
 TEST(MptcpReceiver, MergesAdjacentRanges) {
   Fixture f;
-  f.receiver.on_segment(0, data(200, 100));
-  f.receiver.on_segment(0, data(100, 100));
+  f.deliver(data(200, 100));
+  f.deliver(data(100, 100));
   EXPECT_EQ(f.receiver.out_of_order_bytes(), 200u);
-  f.receiver.on_segment(0, data(0, 100));
+  f.deliver(data(0, 100));
   EXPECT_EQ(f.receiver.rcv_data_next(), 300u);
   EXPECT_EQ(f.receiver.out_of_order_bytes(), 0u);
 }
 
 TEST(MptcpReceiver, OverlappingOutOfOrderRanges) {
   Fixture f;
-  f.receiver.on_segment(0, data(100, 100));
-  f.receiver.on_segment(0, data(150, 100));  // Overlaps 50.
+  f.deliver(data(100, 100));
+  f.deliver(data(150, 100));  // Overlaps 50.
   EXPECT_EQ(f.receiver.out_of_order_bytes(), 150u);
-  f.receiver.on_segment(0, data(0, 100));
+  f.deliver(data(0, 100));
   EXPECT_EQ(f.receiver.rcv_data_next(), 250u);
 }
 
 TEST(MptcpReceiver, GapsHoldDelivery) {
   Fixture f;
-  f.receiver.on_segment(0, data(100, 50));
-  f.receiver.on_segment(0, data(300, 50));
+  f.deliver(data(100, 50));
+  f.deliver(data(300, 50));
   EXPECT_EQ(f.receiver.out_of_order_bytes(), 100u);
-  f.receiver.on_segment(0, data(0, 100));
+  f.deliver(data(0, 100));
   // Only up to the first gap (150..300) delivers.
   EXPECT_EQ(f.receiver.rcv_data_next(), 150u);
   EXPECT_EQ(f.receiver.out_of_order_bytes(), 50u);
@@ -96,8 +100,8 @@ TEST(MptcpReceiver, GapsHoldDelivery) {
 
 TEST(MptcpReceiver, FillAckReportsAckAndWindow) {
   Fixture f;
-  f.receiver.on_segment(0, data(0, 100));
-  f.receiver.on_segment(0, data(200, 100));
+  f.deliver(data(0, 100));
+  f.deliver(data(200, 100));
   net::Packet ack;
   std::size_t extra = 0;
   f.receiver.fill_ack(0, data(200, 100), ack, extra);
@@ -108,21 +112,21 @@ TEST(MptcpReceiver, FillAckReportsAckAndWindow) {
 
 TEST(MptcpReceiver, MaxOooTracksPeak) {
   Fixture f;
-  f.receiver.on_segment(0, data(100, 400));
-  f.receiver.on_segment(0, data(0, 100));
+  f.deliver(data(100, 400));
+  f.deliver(data(0, 100));
   EXPECT_EQ(f.receiver.out_of_order_bytes(), 0u);
   EXPECT_EQ(f.receiver.max_out_of_order_bytes(), 400u);
 }
 
 TEST(MptcpReceiver, GoodputMeterFed) {
   Fixture f;
-  f.receiver.on_segment(0, data(0, 250));
+  f.deliver(data(0, 250));
   EXPECT_EQ(f.goodput.total_bytes(), 250u);
 }
 
 TEST(MptcpReceiver, ZeroLengthIgnored) {
   Fixture f;
-  f.receiver.on_segment(0, data(0, 0));
+  f.deliver(data(0, 0));
   EXPECT_EQ(f.receiver.rcv_data_next(), 0u);
 }
 

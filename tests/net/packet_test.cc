@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <thread>
+#include <vector>
+
 namespace fmtcp::net {
 namespace {
 
@@ -9,6 +13,28 @@ TEST(Packet, UidsAreUniqueAndMonotonic) {
   const std::uint64_t a = next_packet_uid();
   const std::uint64_t b = next_packet_uid();
   EXPECT_LT(a, b);
+}
+
+TEST(Packet, GlobalUidsUniqueAcrossThreads) {
+  // The process-global fallback counter is atomic so concurrent sweeps
+  // that reach it never hand out duplicate uids.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<std::uint64_t>> drawn(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&drawn, t] {
+      drawn[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        drawn[t].push_back(next_packet_uid());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::set<std::uint64_t> unique;
+  for (const auto& uids : drawn) unique.insert(uids.begin(), uids.end());
+  EXPECT_EQ(unique.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
 }
 
 TEST(Packet, FinalizeSizeAddsHeader) {

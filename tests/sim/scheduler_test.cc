@@ -133,6 +133,7 @@ TEST(Scheduler, ExecutedCountExcludesCancelled) {
 
 TEST(Scheduler, DispatchProfileCountsByTag) {
   Scheduler s;
+  s.set_profiling(true);
   s.schedule_at(1, "timer", [] {});
   s.schedule_at(2, "timer", [] {});
   s.schedule_at(3, "link.deliver", [] {});
@@ -150,6 +151,64 @@ TEST(Scheduler, DispatchProfileCountsByTag) {
   EXPECT_EQ(timer, 2u);
   EXPECT_EQ(deliver, 1u);
   EXPECT_EQ(untagged, 1u);
+}
+
+TEST(Scheduler, DiscardedPendingEventCreatesNoHandle) {
+  Scheduler s;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(i + 1, [] {});  // PendingEvent discarded.
+  }
+  EXPECT_EQ(s.handles_created(), 0u);
+  s.run();
+  EXPECT_EQ(s.executed_count(), 10u);
+}
+
+TEST(Scheduler, HandleStatesComeFromFreeList) {
+  Scheduler s;
+  // Timer-style churn: keep a handle, cancel, let the queue reap the
+  // entry. After the first allocation the control block recycles.
+  SimTime t = 0;
+  for (int i = 0; i < 50; ++i) {
+    {
+      EventHandle h = s.schedule_at(++t, [] {});
+      h.cancel();
+    }  // Handle dropped: the queue holds the last reference.
+    s.run();  // Reaps the cancelled entry, pooling its state.
+  }
+  EXPECT_EQ(s.handles_created(), 50u);
+  EXPECT_EQ(s.handle_states_reused(), 49u);
+}
+
+TEST(Scheduler, CompactsWhenCancelledDominates) {
+  Scheduler s;
+  std::vector<EventHandle> handles;
+  // Enough live entries to pass the minimum-queue-size gate.
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(s.schedule_at(1000 + i, [] {}));
+  }
+  // The 51st cancel tips cancelled past half of the 100-entry queue;
+  // compaction reaps every cancelled entry in one pass.
+  for (EventHandle& h : handles) h.cancel();
+  EXPECT_GE(s.compactions(), 1u);
+  EXPECT_LT(s.queued_count(), 100u);
+  s.schedule_at(1, [] {});
+  s.run();
+  EXPECT_EQ(s.executed_count(), 1u);
+}
+
+TEST(Scheduler, CancelAfterCompactionIsSafe) {
+  Scheduler s;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(s.schedule_at(1000 + i, [] {}));
+  }
+  for (EventHandle& h : handles) h.cancel();  // Triggers compaction.
+  for (EventHandle& h : handles) {
+    EXPECT_FALSE(h.pending());
+    h.cancel();  // Idempotent even though the entry was reaped.
+  }
+  s.run();
+  EXPECT_EQ(s.executed_count(), 0u);
 }
 
 }  // namespace

@@ -145,7 +145,7 @@ TEST(Cubic, SubflowIntegration) {
 
   class Sink final : public DataSink {
    public:
-    void on_segment(std::uint32_t, const net::Packet&) override {
+    void on_segment(std::uint32_t, net::Packet&) override {
       ++count_;
     }
     int count_ = 0;

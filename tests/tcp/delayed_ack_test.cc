@@ -13,7 +13,7 @@ namespace {
 
 class NullSink final : public DataSink {
  public:
-  void on_segment(std::uint32_t, const net::Packet&) override {}
+  void on_segment(std::uint32_t, net::Packet&) override {}
 };
 
 net::Packet data_packet(std::uint64_t seq) {

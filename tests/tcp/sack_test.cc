@@ -47,7 +47,7 @@ class TagProvider final : public SegmentProvider {
 
 class TagSink final : public DataSink {
  public:
-  void on_segment(std::uint32_t, const net::Packet& p) override {
+  void on_segment(std::uint32_t, net::Packet& p) override {
     tags_.push_back(p.data_seq);
   }
   const std::vector<std::uint64_t>& tags() const { return tags_; }
@@ -105,16 +105,17 @@ TEST(Sack, ReceiverAdvertisesRanges) {
   std::vector<net::Packet> acks;
   ack_link.set_sink([&](net::Packet p) { acks.push_back(std::move(p)); });
 
-  net::Packet p;
-  p.kind = net::PacketKind::kData;
-  p.subflow = 0;
-  p.seq = 2;  // Hole at 0,1.
-  p.size_bytes = 100;
-  receiver.on_data_packet(p);
-  p.seq = 3;
-  receiver.on_data_packet(p);
-  p.seq = 6;
-  receiver.on_data_packet(p);
+  const auto data_packet = [](std::uint64_t seq) {
+    net::Packet p;
+    p.kind = net::PacketKind::kData;
+    p.subflow = 0;
+    p.seq = seq;
+    p.size_bytes = 100;
+    return p;
+  };
+  receiver.on_data_packet(data_packet(2));  // Hole at 0,1.
+  receiver.on_data_packet(data_packet(3));
+  receiver.on_data_packet(data_packet(6));
   sim.run();
 
   ASSERT_EQ(acks.size(), 3u);

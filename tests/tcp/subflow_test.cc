@@ -78,7 +78,7 @@ class FakeProvider final : public SegmentProvider {
 /// Records every delivered segment's data_seq tag.
 class RecordingSink final : public DataSink {
  public:
-  void on_segment(std::uint32_t, const net::Packet& p) override {
+  void on_segment(std::uint32_t, net::Packet& p) override {
     tags_.push_back(p.data_seq);
   }
   const std::vector<std::uint64_t>& tags() const { return tags_; }

@@ -27,7 +27,7 @@ class CountingProvider final : public SegmentProvider {
 
 class CountingSink final : public DataSink {
  public:
-  void on_segment(std::uint32_t subflow, const net::Packet&) override {
+  void on_segment(std::uint32_t subflow, net::Packet&) override {
     ++per_subflow_[subflow];
   }
   std::uint64_t count(std::uint32_t subflow) const {

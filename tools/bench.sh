@@ -1,0 +1,28 @@
+#!/bin/sh
+# Perf baseline: build the optimised benches and record sweep throughput
+# (serial vs parallel wall time, events/sec) into BENCH_sweep.json at the
+# repo root, plus the scheduler/codec microbench numbers on stdout.
+#
+#   tools/bench.sh [build-dir]      (default: build)
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+# The repo's default build type (RelWithDebInfo) — same config the
+# committed BENCH_sweep.json numbers were recorded under.
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j "$(nproc)" --target \
+  bench_sweep bench_sim_micro
+
+# --jobs=2 floor so the pooled path is exercised even on 1-core boxes
+# (the JSON records the thread count used).
+jobs="$(nproc)"
+[ "$jobs" -lt 2 ] && jobs=2
+"$build/bench/bench_sweep" --jobs="$jobs" --json="$repo/BENCH_sweep.json"
+
+# Event-loop microbenches (scheduler churn, dispatch-profiling gate,
+# full-stack simulated-second cost). Informational; not recorded.
+"$build/bench/bench_sim_micro" --benchmark_min_time=0.2
+
+echo "bench.sh: wrote $repo/BENCH_sweep.json"

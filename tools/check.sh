@@ -3,10 +3,33 @@
 # suite, then a short instrumented simulation. Catches memory errors the
 # regular RelWithDebInfo build will not.
 #
-#   tools/check.sh [build-dir]      (default: build-asan)
+#   tools/check.sh [build-dir]          (default: build-asan)
+#
+# FMTCP_TSAN=1 tools/check.sh [build-dir]   (default: build-tsan)
+#   builds with ThreadSanitizer instead and exercises the concurrent
+#   paths: thread pool, parallel sweeps, packet-uid streams. TSan and
+#   ASan cannot be combined, so this is a separate mode/build dir.
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ "${FMTCP_TSAN:-0}" = "1" ]; then
+  build="${1:-$repo/build-tsan}"
+  cmake -B "$build" -S "$repo" -DFMTCP_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" -j "$(nproc)"
+
+  # The concurrency surface: pool, sweep determinism, uid streams —
+  # plus a parallel sweep under load. Everything else is single-threaded
+  # by construction and covered by the ASan mode.
+  (cd "$build" && ctest --output-on-failure -j "$(nproc)" \
+    -R 'ThreadPool|SweepRunner|Sweep\.|PacketUid|UidsUnique|GlobalUids')
+  "$build/bench/bench_sweep" --seconds=2 --seeds=1 --jobs=4
+
+  echo "check.sh (tsan): all good"
+  exit 0
+fi
+
 build="${1:-$repo/build-asan}"
 
 cmake -B "$build" -S "$repo" -DFMTCP_SANITIZE=address,undefined \

@@ -20,6 +20,7 @@
 #include "common/flags.h"
 #include "common/logging.h"
 #include "harness/runner.h"
+#include "harness/sweep.h"
 #include "net/trace.h"
 #include "obs/observer.h"
 
@@ -144,6 +145,9 @@ int main(int argc, char** argv) {
   options.mptcp_receive_buffer = static_cast<std::size_t>(flags.get_int(
       "buffer_kb", 128, "MPTCP receive buffer (KB)")) * 1024;
 
+  const int seed_count =
+      flags.get_int("seeds", 1, "replicate across N seeds (seed..seed+N-1)");
+  const unsigned parallel_jobs = jobs_from_flags(flags);
   const bool print_series =
       flags.get_bool("series", false, "print per-second goodput");
   const std::string trace_path =
@@ -187,6 +191,41 @@ int main(int argc, char** argv) {
   }
 
   const Protocol protocol = parse_protocol(protocol_name);
+
+  if (seed_count > 1) {
+    if (tracer || observer) {
+      std::fprintf(stderr,
+                   "--seeds is incompatible with --trace/--metrics-json/"
+                   "--timeline (per-run outputs would collide)\n");
+      return 2;
+    }
+    std::vector<std::uint64_t> seeds;
+    for (int i = 0; i < seed_count; ++i) {
+      seeds.push_back(scenario.seed + static_cast<std::uint64_t>(i));
+    }
+    const std::vector<RunResult> results =
+        run_seeds(protocol, scenario, options, seeds, parallel_jobs);
+    std::printf("protocol:  %s, %d seeds (%llu..%llu), jobs=%u\n",
+                protocol_name.c_str(), seed_count,
+                static_cast<unsigned long long>(seeds.front()),
+                static_cast<unsigned long long>(seeds.back()),
+                parallel_jobs);
+    std::printf("seed\tgoodput(MB/s)\tdelay(ms)\tjitter(ms)\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::printf("%llu\t%.4f\t%.1f\t%.1f\n",
+                  static_cast<unsigned long long>(seeds[i]),
+                  results[i].goodput_MBps, results[i].mean_delay_ms,
+                  results[i].jitter_ms);
+    }
+    const SeedStats goodput = aggregate(
+        results, [](const RunResult& r) { return r.goodput_MBps; });
+    const SeedStats delay = aggregate(
+        results, [](const RunResult& r) { return r.mean_delay_ms; });
+    std::printf("mean\t%.4f +/- %.4f\t%.1f +/- %.1f ms\n", goodput.mean,
+                goodput.stddev, delay.mean, delay.stddev);
+    return 0;
+  }
+
   const RunResult result = run_scenario(protocol, scenario, options);
 
   std::printf("protocol:        %s\n", protocol_name.c_str());
