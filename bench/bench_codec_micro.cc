@@ -1,8 +1,29 @@
-// Microbenchmarks (google-benchmark): fountain codec throughput vs k̂
-// and symbol size — the §III-B "coding complexity" constraint on
-// choosing the block size.
+// Fountain codec microbenchmarks.
+//
+// Two modes:
+//  - Default: google-benchmark micros (encode throughput vs k̂ and symbol
+//    size — the §III-B "coding complexity" constraint on block size).
+//  - --json=FILE / --guard=FILE: a self-contained decode-throughput
+//    harness (MB/s of recovered source data and symbols/s) across
+//    k ∈ {16, 32, 64, 128}, systematic-heavy vs dense-coded streams, and
+//    eager-equivalent vs lazy decoding. --json writes the numbers (the
+//    committed BENCH_codec.json baseline at the repo root, produced by
+//    tools/bench.sh); --guard re-runs the harness and fails if any case
+//    regressed more than --max-regression (default 0.20) against the
+//    baseline file (tools/check.sh FMTCP_BENCH_GUARD=1).
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
 #include "common/rng.h"
 #include "fountain/decoder.h"
 #include "fountain/lt_codec.h"
@@ -12,6 +33,10 @@ namespace {
 
 using namespace fmtcp;
 using namespace fmtcp::fountain;
+
+// --------------------------------------------------------------------------
+// google-benchmark micros (default mode)
+// --------------------------------------------------------------------------
 
 void BM_EncodeSymbol(benchmark::State& state) {
   const auto k = static_cast<std::uint32_t>(state.range(0));
@@ -104,12 +129,424 @@ BENCHMARK(BM_LtDecodeBlock)->Arg(64)->Arg(256);
 void BM_CoefficientsFromSeed(benchmark::State& state) {
   const auto k = static_cast<std::uint32_t>(state.range(0));
   std::uint64_t seed = 1;
+  BitVector scratch;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(coefficients_from_seed(seed++, k));
+    coefficients_from_seed_into(seed++, k, scratch);
+    benchmark::DoNotOptimize(scratch.word_data());
   }
 }
 BENCHMARK(BM_CoefficientsFromSeed)->Arg(64)->Arg(256);
 
+// --------------------------------------------------------------------------
+// Decode-throughput harness (--json / --guard modes)
+// --------------------------------------------------------------------------
+
+constexpr std::size_t kSymbolBytes = 160;
+constexpr std::uint32_t kKs[] = {16, 32, 64, 128};
+constexpr int kStreamsPerCase = 16;
+constexpr double kMinSeconds = 0.25;
+
+/// The pre-overhaul decoder, faithfully reproducing the seed
+/// implementation's cost profile: a heap-backed std::vector<uint64_t>
+/// bit vector allocated per coefficient expansion and per row, a full
+/// EncodedSymbol payload copy on every arrival (the seed's const&
+/// overload did `net::EncodedSymbol copy = symbol`), payload bytes
+/// XORed eagerly on every elimination step, and the original scalar
+/// word-at-a-time kernel. This is the "before" of every before/after
+/// number in BENCH_codec.json.
+class EagerReferenceDecoder {
+ public:
+  EagerReferenceDecoder(std::uint32_t symbols, std::size_t symbol_bytes)
+      : symbols_(symbols), symbol_bytes_(symbol_bytes),
+        pivot_rows_(symbols) {}
+
+  bool add_symbol(const net::EncodedSymbol& symbol) {
+    std::vector<std::uint8_t> data = symbol.data;  // Seed: full copy first.
+    RefBitVector coeffs(symbols_);
+    if (symbol.is_systematic()) {
+      coeffs.set(symbol.systematic_index);
+    } else {
+      coeffs = ref_coefficients_from_seed(symbol.coeff_seed, symbols_);
+    }
+    if (rank_ == symbols_) return false;
+    Row row{std::move(coeffs), std::move(data)};
+    std::size_t pivot = row.coeffs.lowest_set_bit();
+    while (pivot < symbols_ && pivot_rows_[pivot].has_value()) {
+      row.coeffs.xor_with(pivot_rows_[pivot]->coeffs);
+      scalar_xor(row.data, pivot_rows_[pivot]->data);
+      pivot = row.coeffs.lowest_set_bit();
+    }
+    if (pivot >= symbols_) return false;
+    pivot_rows_[pivot] = std::move(row);
+    ++rank_;
+    return true;
+  }
+
+  bool complete() const { return rank_ == symbols_; }
+
+  BlockData decode() {
+    for (std::size_t p = symbols_; p-- > 0;) {
+      for (std::size_t q = 0; q < p; ++q) {
+        Row& upper = *pivot_rows_[q];
+        if (upper.coeffs.get(p)) {
+          upper.coeffs.xor_with(pivot_rows_[p]->coeffs);
+          scalar_xor(upper.data, pivot_rows_[p]->data);
+        }
+      }
+    }
+    BlockData out(symbols_, symbol_bytes_);
+    for (std::uint32_t i = 0; i < symbols_; ++i) {
+      const auto& data = pivot_rows_[i]->data;
+      std::memcpy(out.symbol(i), data.data(), data.size());
+    }
+    return out;
+  }
+
+ private:
+  /// The seed's BitVector: heap storage, allocated per construction.
+  struct RefBitVector {
+    explicit RefBitVector(std::size_t bits)
+        : bits(bits), words((bits + 63) / 64, 0) {}
+    void set(std::size_t i) { words[i / 64] |= 1ULL << (i % 64); }
+    bool get(std::size_t i) const {
+      return (words[i / 64] >> (i % 64)) & 1ULL;
+    }
+    bool any() const {
+      for (std::uint64_t w : words) {
+        if (w != 0) return true;
+      }
+      return false;
+    }
+    void xor_with(const RefBitVector& other) {
+      for (std::size_t w = 0; w < words.size(); ++w) {
+        words[w] ^= other.words[w];
+      }
+    }
+    std::size_t lowest_set_bit() const {
+      for (std::size_t w = 0; w < words.size(); ++w) {
+        if (words[w] != 0) {
+          return w * 64 +
+                 static_cast<std::size_t>(std::countr_zero(words[w]));
+        }
+      }
+      return bits;
+    }
+    std::size_t bits;
+    std::vector<std::uint64_t> words;
+  };
+
+  struct Row {
+    RefBitVector coeffs;
+    std::vector<std::uint8_t> data;
+  };
+
+  /// Same Rng stream as coefficients_from_seed, same per-call heap
+  /// allocation as the seed's implementation.
+  static RefBitVector ref_coefficients_from_seed(std::uint64_t seed,
+                                                 std::uint32_t k) {
+    Rng rng(seed);
+    RefBitVector v = ref_random(k, rng);
+    while (!v.any()) v = ref_random(k, rng);
+    return v;
+  }
+
+  static RefBitVector ref_random(std::uint32_t k, Rng& rng) {
+    RefBitVector v(k);
+    for (auto& word : v.words) word = rng.next_u64();
+    const std::size_t tail = k % 64;
+    if (tail != 0) v.words.back() &= (~0ULL >> (64 - tail));
+    return v;
+  }
+
+  static void scalar_xor(std::vector<std::uint8_t>& dst,
+                         const std::vector<std::uint8_t>& src) {
+    std::size_t i = 0;
+    for (; i + 8 <= dst.size(); i += 8) {
+      std::uint64_t d;
+      std::uint64_t s;
+      __builtin_memcpy(&d, dst.data() + i, 8);
+      __builtin_memcpy(&s, src.data() + i, 8);
+      d ^= s;
+      __builtin_memcpy(dst.data() + i, &d, 8);
+    }
+    for (; i < dst.size(); ++i) dst[i] ^= src[i];
+  }
+
+  std::uint32_t symbols_;
+  std::size_t symbol_bytes_;
+  std::uint32_t rank_ = 0;
+  std::vector<std::optional<Row>> pivot_rows_;
+};
+
+/// A symbol stream guaranteed to reach full rank when fed in order.
+/// Dense: non-systematic random linear symbols. Systematic-heavy: a
+/// systematic encoder's output thinned by 12% i.i.d. loss (so most
+/// symbols are plain source symbols plus a few coded repairs).
+std::vector<net::EncodedSymbol> make_stream(std::uint32_t k, bool dense,
+                                            std::uint64_t seed) {
+  Rng loss_rng(seed * 977 + 11);
+  RandomLinearEncoder encoder(seed, make_deterministic_block(seed, k,
+                                                             kSymbolBytes),
+                              Rng(seed * 31 + 7), /*systematic=*/!dense);
+  std::vector<net::EncodedSymbol> stream;
+  BlockDecoder probe(k, kSymbolBytes, /*track_data=*/false);
+  while (!probe.complete()) {
+    net::EncodedSymbol s = encoder.next_symbol();
+    if (!dense && loss_rng.bernoulli(0.12)) continue;  // Lost in transit.
+    probe.add_symbol(s);
+    stream.push_back(std::move(s));
+  }
+  return stream;
+}
+
+struct CaseResult {
+  std::string name;
+  double mbytes_per_sec = 0.0;
+  double symbols_per_sec = 0.0;
+};
+
+template <typename Decoder>
+CaseResult run_case(const std::string& name, std::uint32_t k,
+                    const std::vector<std::vector<net::EncodedSymbol>>&
+                        streams) {
+  // Warm-up + timed loop: decode whole blocks round-robin over the
+  // pre-generated streams until the clock budget is spent.
+  std::uint64_t blocks = 0;
+  std::uint64_t symbols_fed = 0;
+  std::size_t next = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    const auto& stream = streams[next];
+    next = (next + 1) % streams.size();
+    Decoder decoder(k, kSymbolBytes);
+    for (const auto& symbol : stream) {
+      decoder.add_symbol(symbol);
+      ++symbols_fed;
+    }
+    FMTCP_CHECK(decoder.complete());
+    benchmark::DoNotOptimize(decoder.decode());
+    ++blocks;
+    elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  } while (elapsed < kMinSeconds);
+
+  CaseResult result;
+  result.name = name;
+  result.mbytes_per_sec = static_cast<double>(blocks) * k * kSymbolBytes /
+                          elapsed / 1e6;
+  result.symbols_per_sec = static_cast<double>(symbols_fed) / elapsed;
+  return result;
+}
+
+/// Adapters giving both decoders the same (k, symbol_bytes) constructor
+/// and decode() shape for run_case.
+struct LazyAdapter {
+  LazyAdapter(std::uint32_t k, std::size_t bytes)
+      : decoder(k, bytes, /*track_data=*/true) {}
+  void add_symbol(const net::EncodedSymbol& s) {
+    if (!decoder.complete()) decoder.add_symbol(s);
+  }
+  bool complete() const { return decoder.complete(); }
+  const BlockData& decode() { return decoder.decode(); }
+  BlockDecoder decoder;
+};
+
+struct EagerAdapter {
+  EagerAdapter(std::uint32_t k, std::size_t bytes) : decoder(k, bytes) {}
+  void add_symbol(const net::EncodedSymbol& s) {
+    if (!decoder.complete()) decoder.add_symbol(s);
+  }
+  bool complete() const { return decoder.complete(); }
+  BlockData decode() { return decoder.decode(); }
+  EagerReferenceDecoder decoder;
+};
+
+std::vector<CaseResult> run_harness() {
+  std::vector<CaseResult> results;
+  for (std::uint32_t k : kKs) {
+    for (bool dense : {false, true}) {
+      std::vector<std::vector<net::EncodedSymbol>> streams;
+      for (int s = 0; s < kStreamsPerCase; ++s) {
+        streams.push_back(
+            make_stream(k, dense, static_cast<std::uint64_t>(s) + 1));
+      }
+      const std::string suffix =
+          std::string(dense ? "dense" : "systematic") + "_k" +
+          std::to_string(k);
+      std::printf("  %-20s", suffix.c_str());
+      // Best-of-5, alternating decoders, so a background burst on this
+      // (single-core) box degrades one repetition, not one decoder.
+      CaseResult eager;
+      CaseResult lazy;
+      for (int rep = 0; rep < 5; ++rep) {
+        const CaseResult e =
+            run_case<EagerAdapter>("eager_" + suffix, k, streams);
+        if (e.mbytes_per_sec > eager.mbytes_per_sec) eager = e;
+        const CaseResult l =
+            run_case<LazyAdapter>("lazy_" + suffix, k, streams);
+        if (l.mbytes_per_sec > lazy.mbytes_per_sec) lazy = l;
+      }
+      std::printf(" eager %8.1f MB/s   lazy %8.1f MB/s   (%.2fx)\n",
+                  eager.mbytes_per_sec, lazy.mbytes_per_sec,
+                  lazy.mbytes_per_sec / eager.mbytes_per_sec);
+      results.push_back(eager);
+      results.push_back(lazy);
+    }
+  }
+  return results;
+}
+
+/// Rank-only mode must touch zero payload bytes; returns the counter so
+/// the JSON can record it.
+std::uint64_t rank_only_payload_bytes() {
+  const std::uint32_t k = 64;
+  const auto stream = make_stream(k, /*dense=*/true, 42);
+  BlockDecoder decoder(k, kSymbolBytes, /*track_data=*/false);
+  for (const auto& symbol : stream) decoder.add_symbol(symbol);
+  FMTCP_CHECK(decoder.complete());
+  FMTCP_CHECK(decoder.payload_bytes_xored() == 0);
+  return decoder.payload_bytes_xored();
+}
+
+/// Finds `"name": {... "key": <value>` in a previously written JSON file.
+std::optional<double> baseline_field(const std::string& json,
+                                     const std::string& name,
+                                     const std::string& key) {
+  const std::size_t at = json.find("\"" + name + "\"");
+  if (at == std::string::npos) return std::nullopt;
+  const std::string field_key = "\"" + key + "\":";
+  const std::size_t field = json.find(field_key, at);
+  if (field == std::string::npos) return std::nullopt;
+  return std::strtod(json.c_str() + field + field_key.size(), nullptr);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_json(const std::string& path, std::vector<CaseResult> results,
+                bool merge_min) {
+  if (merge_min) {
+    // Fold the previous recording in, keeping the elementwise minimum:
+    // repeated passes (separate processes, so independent heap layouts)
+    // converge on a floor a guard run on an idle box can always meet.
+    const std::string prev = read_file(path);
+    for (CaseResult& r : results) {
+      const std::optional<double> mb =
+          baseline_field(prev, r.name, "mbytes_per_sec");
+      const std::optional<double> sym =
+          baseline_field(prev, r.name, "symbols_per_sec");
+      if (mb.has_value() && *mb < r.mbytes_per_sec) r.mbytes_per_sec = *mb;
+      if (sym.has_value() && *sym < r.symbols_per_sec) {
+        r.symbols_per_sec = *sym;
+      }
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::perror(("cannot open " + path).c_str());
+    std::exit(1);
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"symbol_bytes\": %zu,\n"
+               "  \"rank_only_payload_bytes_xored\": %llu,\n"
+               "  \"cases\": {\n",
+               kSymbolBytes,
+               static_cast<unsigned long long>(rank_only_payload_bytes()));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    std::fprintf(file,
+                 "    \"%s\": {\"mbytes_per_sec\": %.1f, "
+                 "\"symbols_per_sec\": %.0f}%s\n",
+                 r.name.c_str(), r.mbytes_per_sec, r.symbols_per_sec,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(file, "  }\n}\n");
+  FMTCP_CHECK(std::fclose(file) == 0);
+  std::printf("json: -> %s\n", path.c_str());
+}
+
+int run_guard(const std::string& baseline_path, double max_regression) {
+  const std::string json = read_file(baseline_path);
+  if (json.empty()) {
+    std::fprintf(stderr, "guard: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+
+  const std::vector<CaseResult> results = run_harness();
+  int failures = 0;
+  for (const CaseResult& r : results) {
+    const std::optional<double> base =
+        baseline_field(json, r.name, "mbytes_per_sec");
+    if (!base.has_value()) {
+      std::printf("guard: %-24s no baseline, skipped\n", r.name.c_str());
+      continue;
+    }
+    const double floor = *base * (1.0 - max_regression);
+    if (r.mbytes_per_sec < floor) {
+      std::printf("guard: %-24s REGRESSED %.1f MB/s < %.1f (baseline %.1f)\n",
+                  r.name.c_str(), r.mbytes_per_sec, floor, *base);
+      ++failures;
+    } else {
+      std::printf("guard: %-24s ok %.1f MB/s (baseline %.1f)\n",
+                  r.name.c_str(), r.mbytes_per_sec, *base);
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "guard: %d case(s) regressed > %.0f%%\n", failures,
+                 max_regression * 100.0);
+    return 1;
+  }
+  std::printf("guard: all cases within %.0f%% of baseline\n",
+              max_regression * 100.0);
+  return 0;
+}
+
+std::optional<std::string> flag_value(int argc, char** argv,
+                                      const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::optional<std::string> json_path =
+      flag_value(argc, argv, "json");
+  const std::optional<std::string> guard_path =
+      flag_value(argc, argv, "guard");
+  if (guard_path.has_value()) {
+    const std::optional<std::string> tolerance =
+        flag_value(argc, argv, "max-regression");
+    const double max_regression =
+        tolerance.has_value() ? std::stod(*tolerance) : 0.20;
+    return run_guard(*guard_path, max_regression);
+  }
+  if (json_path.has_value()) {
+    bool merge_min = false;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--merge-min") == 0) merge_min = true;
+    }
+    std::printf("decode throughput (%zu-byte symbols):\n", kSymbolBytes);
+    write_json(*json_path, run_harness(), merge_min);
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

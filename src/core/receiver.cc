@@ -30,6 +30,12 @@ FmtcpReceiver::FmtcpReceiver(sim::Simulator& simulator,
     obs_blocks_decoded_ = obs_->metrics.counter("fmtcp.blocks_decoded");
     obs_blocks_delivered_ =
         obs_->metrics.counter("fmtcp.blocks_delivered");
+    coding_metrics_.payload_bytes_xored =
+        obs_->metrics.counter("fountain.payload_bytes_xored");
+    coding_metrics_.coeff_word_xors =
+        obs_->metrics.counter("fountain.coeff_word_xors");
+    coding_metrics_.rows_composed =
+        obs_->metrics.counter("fountain.rows_composed");
   }
 }
 
@@ -63,7 +69,7 @@ void FmtcpReceiver::on_segment(std::uint32_t subflow, net::Packet& p) {
     }
     auto [it, inserted] = decoders_.try_emplace(
         symbol.block, symbol.block_symbols, params_.symbol_bytes,
-        params_.carry_payload, &simulator_.buffer_pool());
+        params_.carry_payload, &simulator_.buffer_pool(), &coding_metrics_);
     fountain::BlockDecoder& decoder = it->second;
     if (!decoder.add_symbol(std::move(symbol))) {
       ++redundant_symbols_;  // Linearly dependent; dropped (§III-B).

@@ -27,7 +27,8 @@ class FmtcpReceiver final : public tcp::DataSink {
   /// path (see core/stream.h).
   /// `observer` may be null; when set, per-block rank progress,
   /// redundant-symbol detections, and decode completions land on its
-  /// timeline and fmtcp.* metrics.
+  /// timeline and fmtcp.* metrics, and the decoders' coding-plane costs
+  /// land on the fountain.* counters.
   FmtcpReceiver(sim::Simulator& simulator, const FmtcpParams& params,
                 metrics::GoodputMeter* goodput = nullptr,
                 BlockSink* sink = nullptr,
@@ -90,6 +91,9 @@ class FmtcpReceiver final : public tcp::DataSink {
   obs::Counter obs_redundant_;
   obs::Counter obs_blocks_decoded_;
   obs::Counter obs_blocks_delivered_;
+  /// Shared by every decoder of this receiver (fountain.* counters;
+  /// null-safe handles when no observer is attached).
+  fountain::CodingMetrics coding_metrics_;
 };
 
 }  // namespace fmtcp::core

@@ -1,5 +1,9 @@
 #include "fountain/decoder.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <memory>
 #include <utility>
 
 #include "common/check.h"
@@ -8,14 +12,17 @@
 namespace fmtcp::fountain {
 
 BlockDecoder::BlockDecoder(std::uint32_t symbols, std::size_t symbol_bytes,
-                           bool track_data, BufferPool* pool)
+                           bool track_data, BufferPool* pool,
+                           CodingMetrics* metrics)
     : symbols_(symbols),
       symbol_bytes_(symbol_bytes),
       track_data_(track_data),
       pool_(pool),
+      metrics_(metrics),
       pivot_rows_(symbols) {
   FMTCP_CHECK(symbols > 0);
   FMTCP_CHECK(symbol_bytes > 0);
+  if (track_data_) stored_.reserve(symbols);
 }
 
 bool BlockDecoder::add_symbol(const BitVector& coeffs,
@@ -35,48 +42,93 @@ bool BlockDecoder::add_symbol(const BitVector& coeffs,
     return false;
   }
 
-  Row row{coeffs, {}};
+  Row row{coeffs, BitVector{}};
   if (track_data_) {
     FMTCP_CHECK(data.size() == symbol_bytes_);
-    row.data = std::move(data);
+    // This symbol's payload would occupy the next stored_ slot; mark it
+    // in the composition vector up front (slot == rank_ on success).
+    row.comp.reset(symbols_);
+    row.comp.set(rank_, true);
   } else if (pool_ != nullptr) {
     pool_->release(std::move(data));
   }
 
-  // Reduce against existing pivot rows until the leading bit is free.
-  std::size_t pivot = row.coeffs.lowest_set_bit();
-  while (pivot < symbols_ && pivot_rows_[pivot].has_value()) {
-    row.coeffs.xor_with(pivot_rows_[pivot]->coeffs);
-    if (track_data_) xor_bytes(row.data, pivot_rows_[pivot]->data);
+  // Reduce against existing pivot rows until the leading bit is free —
+  // coefficients and composition only; payload bytes are untouched.
+  std::uint64_t words = 0;
+  std::size_t pivot;
+  if (symbols_ <= 64) {
+    // One-word fast path: both vectors live in registers across the whole
+    // reduction, instead of being reloaded every iteration (the compiler
+    // cannot prove row and pivot-row storage don't alias).
+    std::uint64_t cw = row.coeffs.word_data()[0];
+    std::uint64_t pv = track_data_ ? row.comp.word_data()[0] : 0;
+    pivot = cw != 0 ? static_cast<std::size_t>(std::countr_zero(cw))
+                    : symbols_;
+    while (pivot < symbols_ && pivot_rows_[pivot].has_value()) {
+      const Row& prow = *pivot_rows_[pivot];
+      cw ^= prow.coeffs.word_data()[0];
+      ++words;
+      if (track_data_) {
+        pv ^= prow.comp.word_data()[0];
+        ++words;
+      }
+      pivot = cw != 0 ? static_cast<std::size_t>(std::countr_zero(cw))
+                      : symbols_;
+    }
+    row.coeffs.word_data()[0] = cw;
+    if (track_data_) row.comp.word_data()[0] = pv;
+  } else {
     pivot = row.coeffs.lowest_set_bit();
+    while (pivot < symbols_ && pivot_rows_[pivot].has_value()) {
+      const Row& prow = *pivot_rows_[pivot];
+      row.coeffs.xor_with(prow.coeffs);
+      words += row.coeffs.word_count();
+      if (track_data_) {
+        row.comp.xor_with(prow.comp);
+        words += row.comp.word_count();
+      }
+      pivot = row.coeffs.lowest_set_bit();
+    }
   }
+  coeff_word_xors_ += words;
+  if (metrics_ != nullptr) metrics_->coeff_word_xors.inc(words);
 
   if (pivot >= symbols_) {
     ++redundant_;  // Linearly dependent; dropped (paper §III-B).
-    if (pool_ != nullptr) pool_->release(std::move(row.data));
+    if (pool_ != nullptr) pool_->release(std::move(data));
     return false;
   }
 
+  if (track_data_) stored_.push_back(std::move(data));
   pivot_rows_[pivot] = std::move(row);
   ++rank_;
   return true;
 }
 
+void BlockDecoder::expand_coefficients(const net::EncodedSymbol& symbol) {
+  if (symbol.is_systematic()) {
+    FMTCP_CHECK(symbol.systematic_index < symbols_);
+    scratch_coeffs_.reset(symbols_);
+    scratch_coeffs_.set(symbol.systematic_index, true);
+  } else {
+    coefficients_from_seed_into(symbol.coeff_seed, symbols_,
+                                scratch_coeffs_);
+  }
+}
+
 bool BlockDecoder::add_symbol(const net::EncodedSymbol& symbol) {
-  net::EncodedSymbol copy = symbol;
-  return add_symbol(std::move(copy));
+  FMTCP_CHECK(symbol.block_symbols == symbols_);
+  expand_coefficients(symbol);
+  std::vector<std::uint8_t> data;
+  if (track_data_) data = symbol.data;
+  return add_symbol(scratch_coeffs_, std::move(data));
 }
 
 bool BlockDecoder::add_symbol(net::EncodedSymbol&& symbol) {
   FMTCP_CHECK(symbol.block_symbols == symbols_);
-  BitVector coeffs(symbols_);
-  if (symbol.is_systematic()) {
-    FMTCP_CHECK(symbol.systematic_index < symbols_);
-    coeffs.set(symbol.systematic_index, true);
-  } else {
-    coeffs = coefficients_from_seed(symbol.coeff_seed, symbols_);
-  }
-  return add_symbol(coeffs, std::move(symbol.data));
+  expand_coefficients(symbol);
+  return add_symbol(scratch_coeffs_, std::move(symbol.data));
 }
 
 std::size_t BlockDecoder::buffered_bytes() const {
@@ -89,28 +141,174 @@ const BlockData& BlockDecoder::decode() {
   FMTCP_CHECK(track_data_);
   if (decoded_.has_value()) return *decoded_;
 
-  // Back-substitute: eliminate every pivot bit from the rows above it so
-  // each row ends with exactly one set bit.
-  for (std::size_t p = symbols_; p-- > 0;) {
-    FMTCP_CHECK(pivot_rows_[p].has_value());
-    for (std::size_t q = 0; q < p; ++q) {
-      Row& upper = *pivot_rows_[q];
-      if (upper.coeffs.get(p)) {
-        upper.coeffs.xor_with(pivot_rows_[p]->coeffs);
-        xor_bytes(upper.data, pivot_rows_[p]->data);
+  // Back-substitute on (coefficients, composition) pairs — still pure
+  // word ops, descending over pivots. When row q is processed every row
+  // p > q is already the singleton {p}, so eliminating bit p only clears
+  // that one coefficient bit (done in bulk by resetting the row to {q}
+  // afterwards) and XORs row p's composition. Iterating the set bits
+  // word-sparsely replaces the O(k̂²) scan-every-pair loop.
+  std::uint64_t words = 0;
+  if (symbols_ <= 64) {
+    // One-word fast path (registers; see add_symbol).
+    for (std::size_t q = symbols_; q-- > 0;) {
+      FMTCP_CHECK(pivot_rows_[q].has_value());
+      Row& row = *pivot_rows_[q];
+      std::uint64_t rest = row.coeffs.word_data()[0] ^ (1ULL << q);
+      if (rest == 0) continue;
+      std::uint64_t pv = row.comp.word_data()[0];
+      while (rest != 0) {
+        const auto p = static_cast<std::size_t>(std::countr_zero(rest));
+        rest &= rest - 1;
+        pv ^= pivot_rows_[p]->comp.word_data()[0];
+        ++words;
+      }
+      row.comp.word_data()[0] = pv;
+      row.coeffs.word_data()[0] = 1ULL << q;
+    }
+  } else {
+    for (std::size_t q = symbols_; q-- > 0;) {
+      FMTCP_CHECK(pivot_rows_[q].has_value());
+      Row& row = *pivot_rows_[q];
+      bool reduced = false;
+      row.coeffs.for_each_set_bit([&](std::size_t p) {
+        if (p == q) return;
+        row.comp.xor_with(pivot_rows_[p]->comp);
+        words += row.comp.word_count();
+        reduced = true;
+      });
+      if (reduced) {
+        row.coeffs.reset(symbols_);
+        row.coeffs.set(q, true);
+      }
+    }
+  }
+  coeff_word_xors_ += words;
+
+  // Materialise each source symbol: one sparse combination of the raw
+  // stored payloads, applied once, straight into the output block.
+  //
+  // Two application strategies, picked by composition density. Sparse
+  // (systematic-heavy streams): XOR the selected raw payloads directly.
+  // Dense (random-coded streams, inverse density ~1/2): method-of-four-
+  // Russians — precompute all 15 subset XORs of each group of four
+  // stored payloads once, then each output row needs at most one XOR
+  // per *group* instead of one per set bit, cutting payload XORs from
+  // ~k²/2 to ~k²/4 + 4k.
+  std::size_t set_bits = 0;
+  for (std::uint32_t i = 0; i < symbols_; ++i) {
+    set_bits += pivot_rows_[i]->comp.popcount();
+  }
+  const std::size_t groups = (static_cast<std::size_t>(symbols_) + 3) / 4;
+  const std::size_t m4r_cost = groups * (15 + symbols_);
+  BlockData out(symbols_, symbol_bytes_);
+  std::uint64_t bytes = 0;
+  if (set_bits > m4r_cost) {
+    bytes = compose_grouped(out, groups);
+  } else {
+    bytes = compose_direct(out);
+  }
+  rows_composed_ += symbols_;
+  payload_bytes_xored_ += bytes;
+  if (metrics_ != nullptr) {
+    metrics_->coeff_word_xors.inc(words);
+    metrics_->payload_bytes_xored.inc(bytes);
+    metrics_->rows_composed.inc(symbols_);
+  }
+
+  for (auto& buf : stored_) {
+    if (pool_ != nullptr) pool_->release(std::move(buf));
+  }
+  stored_.clear();
+  decoded_ = std::move(out);
+  return *decoded_;
+}
+
+std::uint64_t BlockDecoder::compose_direct(BlockData& out) {
+  std::uint64_t bytes = 0;
+  const std::uint8_t* srcs[kXorBatch];
+  for (std::uint32_t i = 0; i < symbols_; ++i) {
+    const Row& row = *pivot_rows_[i];
+    FMTCP_DCHECK(row.coeffs.popcount() == 1);
+    std::uint8_t* dst = out.symbol(i);
+    std::size_t n = 0;
+    row.comp.for_each_set_bit([&](std::size_t j) {
+      FMTCP_DCHECK(j < stored_.size());
+      srcs[n++] = stored_[j].data();
+      if (n == kXorBatch) {
+        xor_accumulate(dst, srcs, n, symbol_bytes_);
+        bytes += n * symbol_bytes_;
+        n = 0;
+      }
+    });
+    if (n > 0) {
+      xor_accumulate(dst, srcs, n, symbol_bytes_);
+      bytes += n * symbol_bytes_;
+    }
+  }
+  return bytes;
+}
+
+std::uint64_t BlockDecoder::compose_grouped(BlockData& out,
+                                            std::size_t groups) {
+  // Subset-XOR tables: entry v-1 of group g holds the XOR of the stored
+  // payloads selected by the bits of v over slots [4g, 4g+m). Singleton
+  // entries are copied; every other entry is one fused three-address XOR
+  // of a smaller subset plus one payload, so the whole table costs one
+  // output-sized pass per entry.
+  // (for_overwrite: every entry that is ever read is written first.)
+  const auto tables = std::make_unique_for_overwrite<std::uint8_t[]>(
+      groups * 15 * symbol_bytes_);
+  std::uint64_t bytes = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t base = g * 4;
+    const std::uint32_t m =
+        static_cast<std::uint32_t>(std::min<std::size_t>(4, symbols_ - base));
+    std::uint8_t* tbl = tables.get() + g * 15 * symbol_bytes_;
+    for (std::uint32_t v = 1; v < (1u << m); ++v) {
+      std::uint8_t* dst =
+          tbl + (static_cast<std::size_t>(v) - 1) * symbol_bytes_;
+      const std::uint32_t low = v & (~v + 1u);
+      const std::uint32_t rest = v ^ low;
+      const std::uint8_t* a =
+          stored_[base + static_cast<std::size_t>(std::countr_zero(low))]
+              .data();
+      if (rest == 0) {
+        std::memcpy(dst, a, symbol_bytes_);
+      } else {
+        xor_into(dst,
+                 tbl + (static_cast<std::size_t>(rest) - 1) * symbol_bytes_,
+                 a, symbol_bytes_);
+        bytes += symbol_bytes_;
       }
     }
   }
 
-  BlockData out(symbols_, symbol_bytes_);
+  // Apply: one table lookup per non-zero 4-bit nibble of the composition
+  // vector. Nibble g lives entirely inside word g/16 (4 divides 64).
+  const std::uint8_t* srcs[kXorBatch];
   for (std::uint32_t i = 0; i < symbols_; ++i) {
-    Row& row = *pivot_rows_[i];
+    const Row& row = *pivot_rows_[i];
     FMTCP_DCHECK(row.coeffs.popcount() == 1);
-    std::copy(row.data.begin(), row.data.end(), out.symbol(i));
-    if (pool_ != nullptr) pool_->release(std::move(row.data));
+    std::uint8_t* dst = out.symbol(i);
+    const std::uint64_t* cw = row.comp.word_data();
+    std::size_t n = 0;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::uint32_t nib =
+          static_cast<std::uint32_t>(cw[g >> 4] >> ((g & 15) * 4)) & 0xFu;
+      if (nib == 0) continue;
+      srcs[n++] = tables.get() + (g * 15 + nib - 1) * symbol_bytes_;
+      if (n == kXorBatch) {
+        xor_accumulate(dst, srcs, n, symbol_bytes_);
+        bytes += n * symbol_bytes_;
+        n = 0;
+      }
+    }
+    if (n > 0) {
+      xor_accumulate(dst, srcs, n, symbol_bytes_);
+      bytes += n * symbol_bytes_;
+    }
   }
-  decoded_ = std::move(out);
-  return *decoded_;
+  return bytes;
 }
 
 }  // namespace fmtcp::fountain

@@ -6,6 +6,15 @@
 // independence and drops redundant symbols"), and reports the current rank
 // k̄_b for the ACK feedback. Once rank == k̂ it back-substitutes and
 // recovers the original block.
+//
+// Elimination is *lazy* on payloads: the online phase works on word-packed
+// coefficient vectors only, recording per pivot row a second k-bit
+// composition vector that indexes the raw stored symbol payloads. Payload
+// byte XORs are deferred to decode(), where back-substitution runs on the
+// (coefficients, composition) pair and every source symbol is then
+// materialised as one sparse combination of raw payloads, applied once.
+// Rank-only mode (track_data = false) therefore touches zero payload
+// bytes by construction.
 #pragma once
 
 #include <cstdint>
@@ -16,17 +25,31 @@
 #include "fountain/block.h"
 #include "fountain/gf2.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
 
 namespace fmtcp::fountain {
+
+/// Optional coding-plane instrumentation (obs-layer counters, null-safe):
+/// one struct shared by every BlockDecoder of a receiver. Registered by
+/// the receiver as fountain.payload_bytes_xored / fountain.coeff_word_xors
+/// / fountain.rows_composed.
+struct CodingMetrics {
+  obs::Counter payload_bytes_xored;  ///< Payload bytes run through XOR kernels.
+  obs::Counter coeff_word_xors;      ///< 64-bit words XORed in elimination.
+  obs::Counter rows_composed;        ///< Source rows materialised at decode().
+};
 
 class BlockDecoder {
  public:
   /// `track_data` false = rank-only mode (no payload bytes stored).
   /// `pool`, when set, receives the payload buffers of dropped redundant
-  /// symbols and of pivot rows once the block has been decoded, so the
-  /// encoder side of the same simulator can reuse them.
+  /// symbols and of stored symbols once the block has been decoded, so
+  /// the encoder side of the same simulator can reuse them.
+  /// `metrics`, when set, must outlive the decoder; counters are bumped
+  /// at add_symbol()/decode() granularity (never inside the hot loops).
   BlockDecoder(std::uint32_t symbols, std::size_t symbol_bytes,
-               bool track_data, BufferPool* pool = nullptr);
+               bool track_data, BufferPool* pool = nullptr,
+               CodingMetrics* metrics = nullptr);
 
   /// Inserts a symbol given its expanded coefficients and payload.
   /// Returns true if the symbol was innovative (rank increased).
@@ -34,7 +57,8 @@ class BlockDecoder {
   /// without copying.
   bool add_symbol(const BitVector& coeffs, std::vector<std::uint8_t>&& data);
 
-  /// Copying convenience overload (tests and observers).
+  /// Copying convenience overload (tests and observers). The payload is
+  /// only copied in track_data mode.
   bool add_symbol(const BitVector& coeffs,
                   const std::vector<std::uint8_t>& data);
 
@@ -43,7 +67,8 @@ class BlockDecoder {
   /// receiver moves each symbol straight off the packet.
   bool add_symbol(net::EncodedSymbol&& symbol);
 
-  /// Copying convenience overload (tests and observers).
+  /// Copying convenience overload (tests and observers). The payload is
+  /// only copied in track_data mode.
   bool add_symbol(const net::EncodedSymbol& symbol);
 
   /// Current number of linearly independent symbols, k̄_b.
@@ -66,24 +91,50 @@ class BlockDecoder {
   std::size_t buffered_bytes() const;
 
   /// Recovers the original block. Requires complete() and track_data.
-  /// Idempotent; the first call performs back-substitution.
+  /// Idempotent; the first call performs back-substitution and the
+  /// deferred payload XORs.
   const BlockData& decode();
+
+  // --- Cost introspection (mirrors the CodingMetrics counters) ---
+  std::uint64_t payload_bytes_xored() const { return payload_bytes_xored_; }
+  std::uint64_t coeff_word_xors() const { return coeff_word_xors_; }
+  std::uint64_t rows_composed() const { return rows_composed_; }
 
  private:
   struct Row {
-    BitVector coeffs;
-    std::vector<std::uint8_t> data;
+    BitVector coeffs;  ///< Over the k̂ source symbols.
+    BitVector comp;    ///< Over stored_ slots; empty in rank-only mode.
   };
+
+  /// Expands a wire symbol's coefficients into scratch_coeffs_.
+  void expand_coefficients(const net::EncodedSymbol& symbol);
+
+  /// Sparse composition application: XOR each row's selected raw
+  /// payloads straight into `out`. Returns payload bytes XORed.
+  std::uint64_t compose_direct(BlockData& out);
+
+  /// Dense application via 4-bit group tables (method of four
+  /// Russians): all 15 subset XORs per group of four stored payloads
+  /// are built once and shared across output rows.
+  std::uint64_t compose_grouped(BlockData& out, std::size_t groups);
 
   std::uint32_t symbols_;
   std::size_t symbol_bytes_;
   bool track_data_;
   BufferPool* pool_ = nullptr;
+  CodingMetrics* metrics_ = nullptr;
   std::uint32_t rank_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t redundant_ = 0;
+  std::uint64_t payload_bytes_xored_ = 0;
+  std::uint64_t coeff_word_xors_ = 0;
+  std::uint64_t rows_composed_ = 0;
   /// pivot_rows_[p] holds the row whose lowest set bit is p (if any).
   std::vector<std::optional<Row>> pivot_rows_;
+  /// Raw payloads of stored (innovative) symbols, in arrival order; slot
+  /// j is what comp bit j refers to. Empty in rank-only mode.
+  std::vector<std::vector<std::uint8_t>> stored_;
+  BitVector scratch_coeffs_;  ///< Reused across add_symbol calls.
   std::optional<BlockData> decoded_;
 };
 

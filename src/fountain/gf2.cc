@@ -1,96 +1,152 @@
 #include "fountain/gf2.h"
 
-#include <bit>
+#include <algorithm>
 
 #include "common/check.h"
 
 namespace fmtcp::fountain {
 
-BitVector::BitVector(std::size_t bits)
-    : bits_(bits), words_((bits + 63) / 64, 0) {
+void BitVector::reset_checked(std::size_t bits) {
   FMTCP_CHECK(bits > 0);
+  const std::size_t nwords = (bits + 63) / 64;
+  if (nwords > kInlineWords && nwords > heap_words_) {
+    delete[] heap_;
+    heap_ = new std::uint64_t[nwords];
+    heap_words_ = nwords;
+  }
+  bits_ = bits;
+  nwords_ = nwords;
+  std::fill_n(words(), nwords_, 0ULL);
+}
+
+void BitVector::copy_from(const BitVector& other) {
+  if (other.nwords_ > kInlineWords && other.nwords_ > heap_words_) {
+    delete[] heap_;
+    heap_ = new std::uint64_t[other.nwords_];
+    heap_words_ = other.nwords_;
+  }
+  bits_ = other.bits_;
+  nwords_ = other.nwords_;
+  std::copy_n(other.words(), nwords_, words());
+}
+
+void BitVector::steal_from(BitVector& other) noexcept {
+  bits_ = other.bits_;
+  nwords_ = other.nwords_;
+  heap_ = other.heap_;
+  heap_words_ = other.heap_words_;
+  if (heap_ == nullptr) {
+    inline_words_[0] = other.inline_words_[0];
+    inline_words_[1] = other.inline_words_[1];
+  }
+  other.bits_ = 0;
+  other.nwords_ = 0;
+  other.heap_ = nullptr;
+  other.heap_words_ = 0;
 }
 
 BitVector BitVector::random(std::size_t bits, Rng& rng) {
-  BitVector v(bits);
-  for (auto& word : v.words_) word = rng.next_u64();
-  // Clear padding bits past `bits` so equality/popcount are exact.
-  const std::size_t tail = bits % 64;
-  if (tail != 0) v.words_.back() &= (~0ULL >> (64 - tail));
+  BitVector v;
+  random_into(bits, rng, v);
   return v;
 }
 
-bool BitVector::get(std::size_t i) const {
-  FMTCP_DCHECK(i < bits_);
-  return (words_[i / 64] >> (i % 64)) & 1ULL;
-}
-
-void BitVector::set(std::size_t i, bool value) {
-  FMTCP_DCHECK(i < bits_);
-  const std::uint64_t mask = 1ULL << (i % 64);
-  if (value) {
-    words_[i / 64] |= mask;
-  } else {
-    words_[i / 64] &= ~mask;
-  }
-}
-
-void BitVector::xor_with(const BitVector& other) {
-  FMTCP_CHECK(bits_ == other.bits_);
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    words_[w] ^= other.words_[w];
-  }
-}
-
-bool BitVector::any() const {
-  for (std::uint64_t w : words_) {
-    if (w != 0) return true;
-  }
-  return false;
-}
-
-std::size_t BitVector::lowest_set_bit() const {
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    if (words_[w] != 0) {
-      return w * 64 +
-             static_cast<std::size_t>(std::countr_zero(words_[w]));
-    }
-  }
-  return bits_;
-}
-
-std::size_t BitVector::popcount() const {
-  std::size_t total = 0;
-  for (std::uint64_t w : words_) {
-    total += static_cast<std::size_t>(std::popcount(w));
-  }
-  return total;
-}
-
-bool BitVector::operator==(const BitVector& other) const {
-  return bits_ == other.bits_ && words_ == other.words_;
+void BitVector::random_into(std::size_t bits, Rng& rng, BitVector& out) {
+  out.reset_checked(bits);
+  std::uint64_t* w = out.words();
+  for (std::size_t i = 0; i < out.nwords_; ++i) w[i] = rng.next_u64();
+  // Clear padding bits past `bits` so equality/popcount are exact.
+  const std::size_t tail = bits % 64;
+  if (tail != 0) w[out.nwords_ - 1] &= (~0ULL >> (64 - tail));
 }
 
 void xor_bytes(std::vector<std::uint8_t>& dst,
                const std::vector<std::uint8_t>& src) {
-  FMTCP_CHECK(dst.size() == src.size());
+  FMTCP_DCHECK(dst.size() == src.size());
   xor_bytes_raw(dst.data(), src.data(), dst.size());
 }
 
-void xor_bytes_raw(std::uint8_t* dst, const std::uint8_t* src,
-                   std::size_t size) {
-  // Word-at-a-time XOR: symbol payloads are hundreds of bytes and this
-  // loop dominates payload-mode simulation time.
+namespace {
+
+inline std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  __builtin_memcpy(&v, p, 8);
+  return v;
+}
+
+inline void store_u64(std::uint8_t* p, std::uint64_t v) {
+  __builtin_memcpy(p, &v, 8);
+}
+
+/// dst ^= a ^ b ^ c ^ d, one pass.
+void xor4_raw(std::uint8_t* __restrict dst, const std::uint8_t* __restrict a,
+              const std::uint8_t* __restrict b,
+              const std::uint8_t* __restrict c,
+              const std::uint8_t* __restrict d, std::size_t size) {
   std::size_t i = 0;
   for (; i + 8 <= size; i += 8) {
-    std::uint64_t d;
-    std::uint64_t s;
-    __builtin_memcpy(&d, dst + i, 8);
-    __builtin_memcpy(&s, src + i, 8);
-    d ^= s;
-    __builtin_memcpy(dst + i, &d, 8);
+    store_u64(dst + i, load_u64(dst + i) ^ load_u64(a + i) ^ load_u64(b + i) ^
+                           load_u64(c + i) ^ load_u64(d + i));
+  }
+  for (; i < size; ++i) dst[i] ^= a[i] ^ b[i] ^ c[i] ^ d[i];
+}
+
+/// dst ^= a ^ b, one pass.
+void xor2_raw(std::uint8_t* __restrict dst, const std::uint8_t* __restrict a,
+              const std::uint8_t* __restrict b, std::size_t size) {
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    store_u64(dst + i,
+              load_u64(dst + i) ^ load_u64(a + i) ^ load_u64(b + i));
+  }
+  for (; i < size; ++i) dst[i] ^= a[i] ^ b[i];
+}
+
+}  // namespace
+
+void xor_bytes_raw(std::uint8_t* __restrict dst,
+                   const std::uint8_t* __restrict src, std::size_t size) {
+  // Payloads are hundreds of bytes; unroll 4 x 64-bit so the compiler can
+  // keep the pipeline full (and vectorize where profitable).
+  std::size_t i = 0;
+  for (; i + 32 <= size; i += 32) {
+    store_u64(dst + i, load_u64(dst + i) ^ load_u64(src + i));
+    store_u64(dst + i + 8, load_u64(dst + i + 8) ^ load_u64(src + i + 8));
+    store_u64(dst + i + 16, load_u64(dst + i + 16) ^ load_u64(src + i + 16));
+    store_u64(dst + i + 24, load_u64(dst + i + 24) ^ load_u64(src + i + 24));
+  }
+  for (; i + 8 <= size; i += 8) {
+    store_u64(dst + i, load_u64(dst + i) ^ load_u64(src + i));
   }
   for (; i < size; ++i) dst[i] ^= src[i];
+}
+
+void xor_into(std::uint8_t* __restrict dst, const std::uint8_t* __restrict a,
+              const std::uint8_t* __restrict b, std::size_t size) {
+  std::size_t i = 0;
+  for (; i + 32 <= size; i += 32) {
+    store_u64(dst + i, load_u64(a + i) ^ load_u64(b + i));
+    store_u64(dst + i + 8, load_u64(a + i + 8) ^ load_u64(b + i + 8));
+    store_u64(dst + i + 16, load_u64(a + i + 16) ^ load_u64(b + i + 16));
+    store_u64(dst + i + 24, load_u64(a + i + 24) ^ load_u64(b + i + 24));
+  }
+  for (; i + 8 <= size; i += 8) {
+    store_u64(dst + i, load_u64(a + i) ^ load_u64(b + i));
+  }
+  for (; i < size; ++i) dst[i] = a[i] ^ b[i];
+}
+
+void xor_accumulate(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                    std::size_t n, std::size_t size) {
+  std::size_t s = 0;
+  for (; s + 4 <= n; s += 4) {
+    xor4_raw(dst, srcs[s], srcs[s + 1], srcs[s + 2], srcs[s + 3], size);
+  }
+  if (s + 2 <= n) {
+    xor2_raw(dst, srcs[s], srcs[s + 1], size);
+    s += 2;
+  }
+  if (s < n) xor_bytes_raw(dst, srcs[s], size);
 }
 
 }  // namespace fmtcp::fountain

@@ -45,9 +45,16 @@ net::EncodedSymbol LtEncoder::next_symbol() {
   const std::vector<std::uint32_t> neighbors =
       lt_neighbors_from_seed(s.coeff_seed, dist_);
   s.data.assign(data_.symbol_bytes(), 0);
+  const std::uint8_t* srcs[kXorBatch];
+  std::size_t n = 0;
   for (std::uint32_t idx : neighbors) {
-    xor_bytes_raw(s.data.data(), data_.symbol(idx), s.data.size());
+    srcs[n++] = data_.symbol(idx);
+    if (n == kXorBatch) {
+      xor_accumulate(s.data.data(), srcs, n, s.data.size());
+      n = 0;
+    }
   }
+  if (n > 0) xor_accumulate(s.data.data(), srcs, n, s.data.size());
   return s;
 }
 

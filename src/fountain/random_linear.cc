@@ -8,10 +8,16 @@
 namespace fmtcp::fountain {
 
 BitVector coefficients_from_seed(std::uint64_t seed, std::uint32_t k) {
-  Rng rng(seed);
-  BitVector v = BitVector::random(k, rng);
-  while (!v.any()) v = BitVector::random(k, rng);
+  BitVector v;
+  coefficients_from_seed_into(seed, k, v);
   return v;
+}
+
+void coefficients_from_seed_into(std::uint64_t seed, std::uint32_t k,
+                                 BitVector& out) {
+  Rng rng(seed);
+  BitVector::random_into(k, rng, out);
+  while (!out.any()) BitVector::random_into(k, rng, out);
 }
 
 std::vector<std::uint8_t> encode_with_coefficients(const BlockData& block,
@@ -26,10 +32,18 @@ void encode_with_coefficients_into(const BlockData& block,
                                    std::vector<std::uint8_t>& out) {
   FMTCP_CHECK(coeffs.size() == block.symbols());
   out.assign(block.symbol_bytes(), 0);
-  for (std::uint32_t i = 0; i < block.symbols(); ++i) {
-    if (!coeffs.get(i)) continue;
-    xor_bytes_raw(out.data(), block.symbol(i), out.size());
-  }
+  // Iterate set words, not per-bit get(i), and fold batches of source
+  // symbols through one pass over the output.
+  const std::uint8_t* srcs[kXorBatch];
+  std::size_t n = 0;
+  coeffs.for_each_set_bit([&](std::size_t i) {
+    srcs[n++] = block.symbol(static_cast<std::uint32_t>(i));
+    if (n == kXorBatch) {
+      xor_accumulate(out.data(), srcs, n, out.size());
+      n = 0;
+    }
+  });
+  if (n > 0) xor_accumulate(out.data(), srcs, n, out.size());
 }
 
 double decode_failure_probability(std::uint32_t k_hat, double received) {
@@ -74,10 +88,9 @@ net::EncodedSymbol RandomLinearEncoder::next_symbol() {
   } else {
     s.coeff_seed = rng_.next_u64();
     if (data_.has_value()) {
-      const BitVector coeffs =
-          coefficients_from_seed(s.coeff_seed, symbols_);
+      coefficients_from_seed_into(s.coeff_seed, symbols_, coeff_scratch_);
       if (pool_ != nullptr) s.data = pool_->acquire(symbol_bytes_);
-      encode_with_coefficients_into(*data_, coeffs, s.data);
+      encode_with_coefficients_into(*data_, coeff_scratch_, s.data);
     }
   }
   ++generated_;

@@ -23,6 +23,12 @@ namespace fmtcp::fountain {
 /// has at least one set bit.
 BitVector coefficients_from_seed(std::uint64_t seed, std::uint32_t k);
 
+/// As above, but expands into a caller-owned scratch vector (storage
+/// reused across calls) instead of allocating a fresh BitVector. Produces
+/// the same bits as coefficients_from_seed for the same seed.
+void coefficients_from_seed_into(std::uint64_t seed, std::uint32_t k,
+                                 BitVector& out);
+
 /// XOR of the block's symbols selected by `coeffs` (Eq. 1).
 std::vector<std::uint8_t> encode_with_coefficients(const BlockData& block,
                                                    const BitVector& coeffs);
@@ -84,6 +90,7 @@ class RandomLinearEncoder {
   Rng rng_;
   bool systematic_ = false;
   std::uint64_t generated_ = 0;
+  BitVector coeff_scratch_;  ///< Reused per symbol (payload mode only).
 };
 
 }  // namespace fmtcp::fountain

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Perf baseline: build the optimised benches and record sweep throughput
-# (serial vs parallel wall time, events/sec) into BENCH_sweep.json at the
-# repo root, plus the scheduler/codec microbench numbers on stdout.
+# (serial vs parallel wall time, events/sec) into BENCH_sweep.json and
+# codec decode throughput (eager-equivalent vs lazy, MB/s + symbols/s)
+# into BENCH_codec.json at the repo root, plus the scheduler microbench
+# numbers on stdout.
 #
 #   tools/bench.sh [build-dir]      (default: build)
 set -eu
@@ -10,10 +12,10 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 
 # The repo's default build type (RelWithDebInfo) — same config the
-# committed BENCH_sweep.json numbers were recorded under.
+# committed BENCH_*.json numbers were recorded under.
 cmake -B "$build" -S "$repo"
 cmake --build "$build" -j "$(nproc)" --target \
-  bench_sweep bench_sim_micro
+  bench_sweep bench_sim_micro bench_codec_micro
 
 # --jobs=2 floor so the pooled path is exercised even on 1-core boxes
 # (the JSON records the thread count used).
@@ -21,8 +23,17 @@ jobs="$(nproc)"
 [ "$jobs" -lt 2 ] && jobs=2
 "$build/bench/bench_sweep" --jobs="$jobs" --json="$repo/BENCH_sweep.json"
 
+# Codec decode-throughput baseline (tools/check.sh FMTCP_BENCH_GUARD=1
+# compares future runs against this file). Three separate processes,
+# merged elementwise-min: per-process heap layout shifts each case by a
+# few percent, and the committed floor must be one a guard run on an
+# idle box can always meet.
+"$build/bench/bench_codec_micro" --json="$repo/BENCH_codec.json"
+"$build/bench/bench_codec_micro" --json="$repo/BENCH_codec.json" --merge-min
+"$build/bench/bench_codec_micro" --json="$repo/BENCH_codec.json" --merge-min
+
 # Event-loop microbenches (scheduler churn, dispatch-profiling gate,
 # full-stack simulated-second cost). Informational; not recorded.
 "$build/bench/bench_sim_micro" --benchmark_min_time=0.2
 
-echo "bench.sh: wrote $repo/BENCH_sweep.json"
+echo "bench.sh: wrote $repo/BENCH_sweep.json and $repo/BENCH_codec.json"

@@ -9,9 +9,26 @@
 #   builds with ThreadSanitizer instead and exercises the concurrent
 #   paths: thread pool, parallel sweeps, packet-uid streams. TSan and
 #   ASan cannot be combined, so this is a separate mode/build dir.
+#
+# FMTCP_BENCH_GUARD=1 tools/check.sh [build-dir]   (default: build)
+#   perf-regression mode: builds the regular optimised config, runs the
+#   bench_codec_micro decode-throughput harness, and fails if any case
+#   regressed more than 20% against the committed BENCH_codec.json
+#   baseline. Skipped by default — wall-clock numbers are only
+#   meaningful on a quiet machine comparable to the baseline's.
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ "${FMTCP_BENCH_GUARD:-0}" = "1" ]; then
+  build="${1:-$repo/build}"
+  cmake -B "$build" -S "$repo"
+  cmake --build "$build" -j "$(nproc)" --target bench_codec_micro
+  "$build/bench/bench_codec_micro" --guard="$repo/BENCH_codec.json" \
+    --max-regression=0.20
+  echo "check.sh (bench guard): all good"
+  exit 0
+fi
 
 if [ "${FMTCP_TSAN:-0}" = "1" ]; then
   build="${1:-$repo/build-tsan}"
