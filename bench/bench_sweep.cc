@@ -1,10 +1,16 @@
 // Sweep-throughput benchmark: wall time and events/sec for a fixed cell
-// grid run serially (--jobs 1) vs on the thread pool, verifying on the
-// way that both modes produce identical results. Writes the numbers as
-// JSON (--json=FILE) so a run can be committed as the perf baseline
-// (see BENCH_sweep.json at the repo root, produced by tools/bench.sh).
+// grid across a list of thread counts (--jobs=1,2,4,8), verifying on
+// the way that every mode produces results bit-identical to the serial
+// baseline. Each mode runs under a span-profiling session, so the JSON
+// (--json=FILE, committed as BENCH_sweep.json via tools/bench.sh)
+// carries the per-span aggregate breakdown alongside the wall numbers,
+// plus a "slowdown" analysis naming the span whose self time grew most
+// from jobs=1 to jobs=2 (waiting spans excluded — they are overlap, not
+// work). --trace-out=FILE writes a Chrome/Perfetto trace of the last
+// mode in the list.
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -13,6 +19,8 @@
 #include "common/thread_pool.h"
 #include "harness/sweep.h"
 #include "harness/table1.h"
+#include "obs/trace/chrome_trace.h"
+#include "obs/trace/tracer.h"
 
 using namespace fmtcp;
 using namespace fmtcp::harness;
@@ -20,8 +28,10 @@ using namespace fmtcp::harness;
 namespace {
 
 struct ModeStats {
+  unsigned jobs = 0;
   double wall_seconds = 0.0;
   std::uint64_t events = 0;
+  obs::trace::TraceReport report;
   double events_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(events) / wall_seconds
                             : 0.0;
@@ -47,16 +57,42 @@ std::vector<SweepJob> build_grid(double seconds, int seeds) {
   return jobs;
 }
 
+/// "--jobs=1,2,4,8" -> {1,2,4,8}; 0 entries mean hardware concurrency.
+/// A serial (jobs=1) baseline is prepended when absent — every other
+/// mode's results are checked against it and speedups are relative to
+/// it.
+std::vector<unsigned> parse_jobs_list(const std::string& spec) {
+  std::vector<unsigned> out;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const long value = std::stol(item);
+    FMTCP_CHECK(value >= 0);
+    out.push_back(value == 0 ? ThreadPool::hardware_threads()
+                             : static_cast<unsigned>(value));
+  }
+  FMTCP_CHECK(!out.empty());
+  if (out.front() != 1) out.insert(out.begin(), 1);
+  return out;
+}
+
 ModeStats run_mode(const std::vector<SweepJob>& jobs, unsigned threads,
+                   bool capture_records,
                    std::vector<RunResult>* results_out) {
+  obs::trace::TraceConfig config;
+  config.capture_records = capture_records;
+  obs::trace::start(config);
+
   const auto start = std::chrono::steady_clock::now();
   std::vector<RunResult> results = run_parallel(jobs, threads);
   const auto stop = std::chrono::steady_clock::now();
 
   ModeStats stats;
+  stats.jobs = threads;
   stats.wall_seconds =
       std::chrono::duration<double>(stop - start).count();
   for (const RunResult& r : results) stats.events += r.sim_events;
+  stats.report = obs::trace::stop();
   if (results_out != nullptr) *results_out = std::move(results);
   return stats;
 }
@@ -72,6 +108,73 @@ void expect_identical(const std::vector<RunResult>& a,
   }
 }
 
+/// Spans that measure *blocking on other threads' progress*: they
+/// overlap with real work, so their growth under contention explains
+/// nothing about where cycles went.
+bool is_waiting_span(const std::string& name) {
+  return name == "sweep.wait" || name == "sweep.run" ||
+         name == "threadpool.wait" || name == "threadpool.idle";
+}
+
+struct Slowdown {
+  bool valid = false;
+  unsigned reference_jobs = 0;
+  unsigned compared_jobs = 0;
+  std::string dominant_span;
+  double self_ms_reference = 0.0;
+  double self_ms_compared = 0.0;
+};
+
+/// Where did the extra wall time of the jobs=2 mode go, relative to the
+/// serial baseline? Largest positive self-time delta among working
+/// (non-waiting) spans.
+Slowdown analyze_slowdown(const std::vector<ModeStats>& modes) {
+  Slowdown slowdown;
+  const ModeStats* reference = nullptr;
+  const ModeStats* compared = nullptr;
+  for (const ModeStats& mode : modes) {
+    if (mode.jobs == 1 && reference == nullptr) reference = &mode;
+    if (mode.jobs == 2 && compared == nullptr) compared = &mode;
+  }
+  if (reference == nullptr || compared == nullptr) return slowdown;
+
+  double best_delta = 0.0;
+  for (const obs::trace::SpanAggregate& span : compared->report.spans) {
+    if (is_waiting_span(span.name)) continue;
+    const obs::trace::SpanAggregate* base =
+        reference->report.find(span.name);
+    const double base_self = base != nullptr ? base->self_ms : 0.0;
+    const double delta = span.self_ms - base_self;
+    if (delta > best_delta) {
+      best_delta = delta;
+      slowdown.valid = true;
+      slowdown.dominant_span = span.name;
+      slowdown.self_ms_reference = base_self;
+      slowdown.self_ms_compared = span.self_ms;
+    }
+  }
+  slowdown.reference_jobs = reference->jobs;
+  slowdown.compared_jobs = compared->jobs;
+  return slowdown;
+}
+
+void write_spans_json(std::FILE* file, const obs::trace::TraceReport& report,
+                      const char* indent) {
+  std::fprintf(file, "%s\"spans\": [", indent);
+  bool first = true;
+  for (const obs::trace::SpanAggregate& span : report.spans) {
+    std::fprintf(file,
+                 "%s\n%s  {\"name\": \"%s\", \"count\": %llu, "
+                 "\"total_ms\": %.3f, \"self_ms\": %.3f, "
+                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f}",
+                 first ? "" : ",", indent, span.name.c_str(),
+                 static_cast<unsigned long long>(span.count),
+                 span.total_ms, span.self_ms, span.p50_ms, span.p99_ms);
+    first = false;
+  }
+  std::fprintf(file, "\n%s]", indent);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,31 +182,64 @@ int main(int argc, char** argv) {
   const double seconds =
       flags.get_double("seconds", 10.0, "simulated seconds per cell");
   const int seeds = flags.get_int("seeds", 2, "seeds per cell");
-  unsigned parallel_threads = jobs_from_flags(flags);
+  const std::string jobs_spec = flags.get_string(
+      "jobs", "0", "comma list of thread counts (0 = hardware)");
   const std::string json_path =
       flags.get_string("json", "", "write results as JSON to file");
-  if (parallel_threads == 0) {
-    parallel_threads = ThreadPool::hardware_threads();
+  const std::string trace_out_path = flags.get_string(
+      "trace-out", "", "write Chrome span trace of the last mode");
+
+  const std::vector<unsigned> jobs_list = parse_jobs_list(jobs_spec);
+  const std::vector<SweepJob> jobs = build_grid(seconds, seeds);
+  std::printf("sweep: %zu cells x %.0f simulated seconds, jobs {",
+              jobs.size(), seconds);
+  for (std::size_t i = 0; i < jobs_list.size(); ++i) {
+    std::printf("%s%u", i > 0 ? "," : "", jobs_list[i]);
+  }
+  std::printf("}\n");
+
+  std::vector<ModeStats> modes;
+  std::vector<RunResult> serial_results;
+  for (std::size_t i = 0; i < jobs_list.size(); ++i) {
+    const unsigned threads = jobs_list[i];
+    const bool capture =
+        !trace_out_path.empty() && i + 1 == jobs_list.size();
+    std::vector<RunResult> results;
+    modes.push_back(run_mode(jobs, threads, capture, &results));
+    const ModeStats& mode = modes.back();
+
+    if (i == 0) {
+      serial_results = std::move(results);
+      std::printf("jobs=%-2u   %6.2f s wall, %.2fM events/s\n",
+                  mode.jobs, mode.wall_seconds,
+                  mode.events_per_second() / 1e6);
+    } else {
+      expect_identical(serial_results, results);
+      std::printf("jobs=%-2u   %6.2f s wall, %.2fM events/s (%.2fx)\n",
+                  mode.jobs, mode.wall_seconds,
+                  mode.events_per_second() / 1e6,
+                  modes.front().wall_seconds / mode.wall_seconds);
+    }
+  }
+  std::printf("results:  all modes bit-identical to serial\n");
+
+  const Slowdown slowdown = analyze_slowdown(modes);
+  if (slowdown.valid) {
+    std::printf(
+        "slowdown: jobs=%u spends %+.0f ms more self time in '%s' than "
+        "jobs=%u (%.0f -> %.0f ms)\n",
+        slowdown.compared_jobs,
+        slowdown.self_ms_compared - slowdown.self_ms_reference,
+        slowdown.dominant_span.c_str(), slowdown.reference_jobs,
+        slowdown.self_ms_reference, slowdown.self_ms_compared);
   }
 
-  const std::vector<SweepJob> jobs = build_grid(seconds, seeds);
-  std::printf("sweep: %zu cells x %.0f simulated seconds, %u threads\n",
-              jobs.size(), seconds, parallel_threads);
-
-  std::vector<RunResult> serial_results;
-  const ModeStats serial = run_mode(jobs, 1, &serial_results);
-  std::printf("serial:   %6.2f s wall, %.2fM events/s\n",
-              serial.wall_seconds, serial.events_per_second() / 1e6);
-
-  std::vector<RunResult> parallel_results;
-  const ModeStats parallel =
-      run_mode(jobs, parallel_threads, &parallel_results);
-  std::printf("parallel: %6.2f s wall, %.2fM events/s (%.2fx)\n",
-              parallel.wall_seconds, parallel.events_per_second() / 1e6,
-              serial.wall_seconds / parallel.wall_seconds);
-
-  expect_identical(serial_results, parallel_results);
-  std::printf("results:  parallel run bit-identical to serial\n");
+  if (!trace_out_path.empty()) {
+    obs::trace::write_chrome_trace(modes.back().report, trace_out_path);
+    std::printf("trace:    %zu records (jobs=%u) -> %s\n",
+                modes.back().report.records.size(), modes.back().jobs,
+                trace_out_path.c_str());
+  }
 
   if (!json_path.empty()) {
     std::FILE* file = std::fopen(json_path.c_str(), "w");
@@ -111,25 +247,44 @@ int main(int argc, char** argv) {
       std::perror(("cannot open " + json_path).c_str());
       return 1;
     }
-    std::fprintf(
-        file,
-        "{\n"
-        "  \"cells\": %zu,\n"
-        "  \"simulated_seconds_per_cell\": %.1f,\n"
-        "  \"threads\": %u,\n"
-        "  \"total_sim_events\": %llu,\n"
-        "  \"serial\": {\"wall_seconds\": %.3f, \"events_per_second\": "
-        "%.0f},\n"
-        "  \"parallel\": {\"wall_seconds\": %.3f, \"events_per_second\": "
-        "%.0f},\n"
-        "  \"speedup\": %.3f,\n"
-        "  \"identical_results\": true\n"
-        "}\n",
-        jobs.size(), seconds, parallel_threads,
-        static_cast<unsigned long long>(serial.events),
-        serial.wall_seconds, serial.events_per_second(),
-        parallel.wall_seconds, parallel.events_per_second(),
-        serial.wall_seconds / parallel.wall_seconds);
+    std::fprintf(file,
+                 "{\n"
+                 "  \"cells\": %zu,\n"
+                 "  \"simulated_seconds_per_cell\": %.1f,\n"
+                 "  \"total_sim_events\": %llu,\n"
+                 "  \"modes\": [",
+                 jobs.size(), seconds,
+                 static_cast<unsigned long long>(modes.front().events));
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      const ModeStats& mode = modes[i];
+      std::fprintf(file,
+                   "%s\n    {\n"
+                   "      \"jobs\": %u,\n"
+                   "      \"wall_seconds\": %.3f,\n"
+                   "      \"events_per_second\": %.0f,\n"
+                   "      \"speedup\": %.3f,\n",
+                   i > 0 ? "," : "", mode.jobs, mode.wall_seconds,
+                   mode.events_per_second(),
+                   modes.front().wall_seconds / mode.wall_seconds);
+      write_spans_json(file, mode.report, "      ");
+      std::fprintf(file, "\n    }");
+    }
+    std::fprintf(file, "\n  ],\n  \"identical_results\": true");
+    if (slowdown.valid) {
+      std::fprintf(
+          file,
+          ",\n  \"slowdown\": {\n"
+          "    \"reference_jobs\": %u,\n"
+          "    \"compared_jobs\": %u,\n"
+          "    \"dominant_span\": \"%s\",\n"
+          "    \"self_ms_reference\": %.3f,\n"
+          "    \"self_ms_compared\": %.3f\n"
+          "  }",
+          slowdown.reference_jobs, slowdown.compared_jobs,
+          slowdown.dominant_span.c_str(), slowdown.self_ms_reference,
+          slowdown.self_ms_compared);
+    }
+    std::fprintf(file, "\n}\n");
     FMTCP_CHECK(std::fclose(file) == 0);
     std::printf("json:     -> %s\n", json_path.c_str());
   }

@@ -2,10 +2,14 @@
 
 #include <utility>
 
+#include "obs/trace/span.h"
+
 namespace fmtcp {
 
 std::vector<std::uint8_t> BufferPool::acquire(std::size_t size) {
   ++acquired_;
+  if (++outstanding_ > high_water_) high_water_ = outstanding_;
+  FMTCP_COUNT("bufferpool.acquire", 1);
   if (!free_.empty()) {
     std::vector<std::uint8_t> buffer = std::move(free_.back());
     free_.pop_back();
@@ -13,11 +17,22 @@ std::vector<std::uint8_t> BufferPool::acquire(std::size_t size) {
     buffer.resize(size);
     return buffer;
   }
+  // The miss path is the one worth a span: free-list hits are a move,
+  // misses are a fresh heap allocation (and, under --jobs N, the place
+  // allocator contention would show up).
+  FMTCP_SPAN_ARG("bufferpool.alloc", size);
   return std::vector<std::uint8_t>(size);
 }
 
 void BufferPool::release(std::vector<std::uint8_t>&& buffer) {
-  if (buffer.empty() || free_.size() >= max_free_) return;
+  if (buffer.empty()) return;
+  ++released_;
+  --outstanding_;
+  FMTCP_COUNT("bufferpool.release", 1);
+  if (free_.size() >= max_free_) {
+    ++dropped_;
+    return;
+  }
   free_.push_back(std::move(buffer));
 }
 

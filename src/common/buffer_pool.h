@@ -28,6 +28,34 @@ class BufferPool {
   void release(std::vector<std::uint8_t>&& buffer);
 
   // --- Diagnostics ---
+
+  /// Lifetime picture of the pool, cheap to collect at any point (the
+  /// harness exports it as bufferpool.* gauges after a run).
+  struct Stats {
+    std::uint64_t acquired = 0;   ///< acquire() calls.
+    std::uint64_t reused = 0;     ///< ... served from the free list.
+    std::uint64_t allocated = 0;  ///< ... that had to allocate (misses).
+    std::uint64_t released = 0;   ///< release() calls (non-empty).
+    std::uint64_t dropped = 0;    ///< Releases freed over max_free.
+    /// Buffers out with callers right now (acquired minus released;
+    /// buffers destroyed instead of released stay counted).
+    std::int64_t outstanding = 0;
+    std::int64_t high_water = 0;  ///< Max outstanding ever seen.
+    std::size_t free = 0;         ///< Free-list size right now.
+  };
+  Stats stats() const {
+    Stats s;
+    s.acquired = acquired_;
+    s.reused = reused_;
+    s.allocated = acquired_ - reused_;
+    s.released = released_;
+    s.dropped = dropped_;
+    s.outstanding = outstanding_;
+    s.high_water = high_water_;
+    s.free = free_.size();
+    return s;
+  }
+
   std::size_t free_count() const { return free_.size(); }
   std::uint64_t acquired() const { return acquired_; }
   /// Acquisitions served from the free list (no allocation).
@@ -38,6 +66,10 @@ class BufferPool {
   std::vector<std::vector<std::uint8_t>> free_;
   std::uint64_t acquired_ = 0;
   std::uint64_t reused_ = 0;
+  std::uint64_t released_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::int64_t outstanding_ = 0;
+  std::int64_t high_water_ = 0;
 };
 
 }  // namespace fmtcp

@@ -4,14 +4,26 @@
 // silently corrupted run); FMTCP_DCHECK compiles out in NDEBUG builds.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace fmtcp::detail {
 
+/// Called (if set) just before a failed FMTCP_CHECK aborts, so sinks
+/// with buffered output (the JSONL event timeline) can flush/fsync what
+/// they have instead of losing the tail of a crashed run. Must be
+/// async-signal-tolerant in spirit: no allocation, no throwing.
+using CheckFailureHook = void (*)();
+inline std::atomic<CheckFailureHook>& check_failure_hook() {
+  static std::atomic<CheckFailureHook> hook{nullptr};
+  return hook;
+}
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line) {
   std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  if (CheckFailureHook hook = check_failure_hook().load()) hook();
   std::abort();
 }
 

@@ -1,8 +1,10 @@
 #include "common/thread_pool.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace/span.h"
 
 namespace fmtcp {
 
@@ -10,7 +12,14 @@ ThreadPool::ThreadPool(unsigned threads) {
   FMTCP_CHECK(threads >= 1);
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Stable label for trace exports; the buffer outlives the thread
+      // registration (the tracer keeps its own copy).
+      char name[32];
+      std::snprintf(name, sizeof(name), "pool-worker-%u", i);
+      obs::trace::set_thread_name(name);
+      worker_loop();
+    });
   }
 }
 
@@ -25,6 +34,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   FMTCP_CHECK(task != nullptr);
+  FMTCP_SPAN("threadpool.submit");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
@@ -33,6 +43,7 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait() {
+  FMTCP_SPAN("threadpool.wait");
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
@@ -45,6 +56,10 @@ unsigned ThreadPool::hardware_threads() {
 void ThreadPool::worker_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
+    // Stamp the gap between finishing one task and starting the next —
+    // the worker-idle signal in sweep profiles. Recorded only once a
+    // task arrives, so no span stays open across a post-wait() drain.
+    const std::uint64_t idle_begin = obs::trace::clock_ns();
     work_ready_.wait(lock,
                      [this] { return stopping_ || !queue_.empty(); });
     if (queue_.empty()) return;  // stopping_ and drained.
@@ -52,7 +67,12 @@ void ThreadPool::worker_loop() {
     queue_.pop_front();
     ++in_flight_;
     lock.unlock();
-    task();
+    obs::trace::record_complete("threadpool.idle", idle_begin,
+                                obs::trace::clock_ns());
+    {
+      FMTCP_SPAN("threadpool.task");
+      task();
+    }
     lock.lock();
     --in_flight_;
     if (queue_.empty() && in_flight_ == 0) idle_.notify_all();

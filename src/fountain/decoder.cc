@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "fountain/random_linear.h"
+#include "obs/trace/span.h"
 
 namespace fmtcp::fountain {
 
@@ -35,6 +36,7 @@ bool BlockDecoder::add_symbol(const BitVector& coeffs,
 bool BlockDecoder::add_symbol(const BitVector& coeffs,
                               std::vector<std::uint8_t>&& data) {
   FMTCP_CHECK(coeffs.size() == symbols_);
+  FMTCP_COUNT("codec.add_symbol", 1);
   ++received_;
   if (complete()) {
     ++redundant_;
@@ -140,6 +142,7 @@ const BlockData& BlockDecoder::decode() {
   FMTCP_CHECK(complete());
   FMTCP_CHECK(track_data_);
   if (decoded_.has_value()) return *decoded_;
+  FMTCP_SPAN_ARG("codec.decode", symbols_);
 
   // Back-substitute on (coefficients, composition) pairs — still pure
   // word ops, descending over pivots. When row q is processed every row

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace/span.h"
 
 namespace fmtcp::fountain {
 
@@ -75,6 +76,7 @@ RandomLinearEncoder::RandomLinearEncoder(std::uint64_t block_id,
 }
 
 net::EncodedSymbol RandomLinearEncoder::next_symbol() {
+  FMTCP_COUNT("codec.encode_symbol", 1);
   net::EncodedSymbol s;
   s.block = block_id_;
   s.block_symbols = symbols_;

@@ -10,6 +10,7 @@
 #include "core/connection.h"
 #include "mptcp/connection.h"
 #include "net/topology.h"
+#include "obs/trace/span.h"
 #include "sim/simulator.h"
 
 namespace fmtcp::harness {
@@ -75,7 +76,8 @@ void run_clock(sim::Simulator& simulator, const Scenario& scenario) {
 }
 
 /// Copies the scheduler's per-tag dispatch counts into sim.events.*
-/// counters so --metrics-json captures the event-loop profile.
+/// counters and the buffer pool's lifetime stats into bufferpool.*
+/// gauges so --metrics-json captures both profiles.
 void export_dispatch_profile(sim::Simulator& simulator,
                              const Scenario& scenario) {
   if (scenario.observer == nullptr) return;
@@ -83,6 +85,19 @@ void export_dispatch_profile(sim::Simulator& simulator,
        simulator.scheduler().dispatch_profile()) {
     scenario.observer->metrics.counter("sim.events." + tag).inc(count);
   }
+  const BufferPool::Stats pool = simulator.buffer_pool().stats();
+  obs::MetricsRegistry& metrics = scenario.observer->metrics;
+  metrics.gauge("bufferpool.acquired").set(static_cast<double>(pool.acquired));
+  metrics.gauge("bufferpool.reused").set(static_cast<double>(pool.reused));
+  metrics.gauge("bufferpool.allocated")
+      .set(static_cast<double>(pool.allocated));
+  metrics.gauge("bufferpool.released").set(static_cast<double>(pool.released));
+  metrics.gauge("bufferpool.dropped").set(static_cast<double>(pool.dropped));
+  metrics.gauge("bufferpool.outstanding")
+      .set(static_cast<double>(pool.outstanding));
+  metrics.gauge("bufferpool.high_water")
+      .set(static_cast<double>(pool.high_water));
+  metrics.gauge("bufferpool.free").set(static_cast<double>(pool.free));
   scenario.observer->timeline.flush();
 }
 
@@ -119,6 +134,11 @@ double RunResult::coding_overhead(std::uint32_t block_symbols) const {
 
 RunResult run_scenario(Protocol protocol, const Scenario& scenario,
                        const ProtocolOptions& options) {
+  // One cell = one simulation. The phase spans below (setup / sim /
+  // collect / teardown) are what the sweep profiler aggregates to
+  // explain where parallel sweeps spend their time; simulator and
+  // topology destruction lands in sweep.cell self time.
+  FMTCP_SPAN_ARG("sweep.cell", scenario.seed);
   sim::Simulator simulator(scenario.seed);
   // Per-tag dispatch counting costs a scan per event; only pay for it
   // when someone is attached to read the profile.
@@ -131,86 +151,149 @@ RunResult run_scenario(Protocol protocol, const Scenario& scenario,
 
   switch (protocol) {
     case Protocol::kFmtcp: {
-      core::FmtcpConnectionConfig config;
-      config.params = options.fmtcp;
-      config.subflow = options.subflow;
-      config.subflow.enable_sack = options.sack;
-      config.receiver.delayed_acks = options.delayed_acks;
-      config.use_lia = options.fmtcp_use_lia;
-      config.goodput_bin = options.goodput_bin;
-      config.observer = scenario.observer;
-      core::FmtcpConnection connection(simulator, topology, config);
-      connection.start();
-      run_clock(simulator, scenario);
-      collect_common(connection.goodput(), connection.block_delays(),
-                     scenario, result);
-      for (std::size_t i = 0; i < connection.subflow_count(); ++i) {
-        collect_subflow(connection.subflow(i), result);
+      std::unique_ptr<core::FmtcpConnection> connection;
+      {
+        FMTCP_SPAN("sweep.cell.setup");
+        core::FmtcpConnectionConfig config;
+        config.params = options.fmtcp;
+        config.subflow = options.subflow;
+        config.subflow.enable_sack = options.sack;
+        config.receiver.delayed_acks = options.delayed_acks;
+        config.use_lia = options.fmtcp_use_lia;
+        config.goodput_bin = options.goodput_bin;
+        config.observer = scenario.observer;
+        connection = std::make_unique<core::FmtcpConnection>(
+            simulator, topology, config);
+        connection->start();
       }
-      result.redundant_symbols = connection.receiver().redundant_symbols();
-      result.symbols_sent = connection.sender().blocks().total_symbols_sent();
-      result.payload_ok = connection.receiver().payload_verified();
+      {
+        FMTCP_SPAN("sweep.cell.sim");
+        run_clock(simulator, scenario);
+      }
+      {
+        FMTCP_SPAN("sweep.cell.collect");
+        collect_common(connection->goodput(), connection->block_delays(),
+                       scenario, result);
+        for (std::size_t i = 0; i < connection->subflow_count(); ++i) {
+          collect_subflow(connection->subflow(i), result);
+        }
+        result.redundant_symbols =
+            connection->receiver().redundant_symbols();
+        result.symbols_sent =
+            connection->sender().blocks().total_symbols_sent();
+        result.payload_ok = connection->receiver().payload_verified();
+      }
+      {
+        FMTCP_SPAN("sweep.cell.teardown");
+        connection.reset();
+      }
       break;
     }
 
     case Protocol::kMptcp: {
-      mptcp::MptcpConnectionConfig config;
-      config.subflow = options.subflow;
-      config.subflow.enable_sack = options.sack;
-      config.sender.segment_bytes = options.subflow.mss_payload;
-      config.sender.metric_block_bytes = options.fmtcp.block_bytes();
-      config.sender.scheduler = options.mptcp_scheduler;
-      config.sender.enable_reinjection = options.mptcp_reinjection;
-      config.receiver.delayed_acks = options.delayed_acks;
-      config.receive_buffer_bytes = options.mptcp_receive_buffer;
-      config.use_lia = options.mptcp_use_lia;
-      config.goodput_bin = options.goodput_bin;
-      config.observer = scenario.observer;
-      mptcp::MptcpConnection connection(simulator, topology, config);
-      connection.start();
-      run_clock(simulator, scenario);
-      collect_common(connection.goodput(), connection.block_delays(),
-                     scenario, result);
-      for (std::size_t i = 0; i < connection.subflow_count(); ++i) {
-        collect_subflow(connection.subflow(i), result);
+      std::unique_ptr<mptcp::MptcpConnection> connection;
+      {
+        FMTCP_SPAN("sweep.cell.setup");
+        mptcp::MptcpConnectionConfig config;
+        config.subflow = options.subflow;
+        config.subflow.enable_sack = options.sack;
+        config.sender.segment_bytes = options.subflow.mss_payload;
+        config.sender.metric_block_bytes = options.fmtcp.block_bytes();
+        config.sender.scheduler = options.mptcp_scheduler;
+        config.sender.enable_reinjection = options.mptcp_reinjection;
+        config.receiver.delayed_acks = options.delayed_acks;
+        config.receive_buffer_bytes = options.mptcp_receive_buffer;
+        config.use_lia = options.mptcp_use_lia;
+        config.goodput_bin = options.goodput_bin;
+        config.observer = scenario.observer;
+        connection = std::make_unique<mptcp::MptcpConnection>(
+            simulator, topology, config);
+        connection->start();
+      }
+      {
+        FMTCP_SPAN("sweep.cell.sim");
+        run_clock(simulator, scenario);
+      }
+      {
+        FMTCP_SPAN("sweep.cell.collect");
+        collect_common(connection->goodput(), connection->block_delays(),
+                       scenario, result);
+        for (std::size_t i = 0; i < connection->subflow_count(); ++i) {
+          collect_subflow(connection->subflow(i), result);
+        }
+      }
+      {
+        FMTCP_SPAN("sweep.cell.teardown");
+        connection.reset();
       }
       break;
     }
 
     case Protocol::kHmtp: {
-      baselines::HmtpConnectionConfig config;
-      config.params = options.fmtcp;
-      config.subflow = options.subflow;
-      config.subflow.observer = scenario.observer;
-      config.goodput_bin = options.goodput_bin;
-      baselines::HmtpConnection connection(simulator, topology, config);
-      connection.start();
-      run_clock(simulator, scenario);
-      collect_common(connection.goodput(), connection.block_delays(),
-                     scenario, result);
-      collect_subflow(connection.subflow(0), result);
-      collect_subflow(connection.subflow(1), result);
-      result.redundant_symbols = connection.receiver().redundant_symbols();
-      result.symbols_sent =
-          connection.sender().blocks().total_symbols_sent();
-      result.payload_ok = connection.receiver().payload_verified();
+      std::unique_ptr<baselines::HmtpConnection> connection;
+      {
+        FMTCP_SPAN("sweep.cell.setup");
+        baselines::HmtpConnectionConfig config;
+        config.params = options.fmtcp;
+        config.subflow = options.subflow;
+        config.subflow.observer = scenario.observer;
+        config.goodput_bin = options.goodput_bin;
+        connection = std::make_unique<baselines::HmtpConnection>(
+            simulator, topology, config);
+        connection->start();
+      }
+      {
+        FMTCP_SPAN("sweep.cell.sim");
+        run_clock(simulator, scenario);
+      }
+      {
+        FMTCP_SPAN("sweep.cell.collect");
+        collect_common(connection->goodput(), connection->block_delays(),
+                       scenario, result);
+        collect_subflow(connection->subflow(0), result);
+        collect_subflow(connection->subflow(1), result);
+        result.redundant_symbols =
+            connection->receiver().redundant_symbols();
+        result.symbols_sent =
+            connection->sender().blocks().total_symbols_sent();
+        result.payload_ok = connection->receiver().payload_verified();
+      }
+      {
+        FMTCP_SPAN("sweep.cell.teardown");
+        connection.reset();
+      }
       break;
     }
 
     case Protocol::kFixedRate: {
-      baselines::FixedRateConnectionConfig config;
-      config.params = options.fixed_rate;
-      config.subflow = options.subflow;
-      config.subflow.observer = scenario.observer;
-      config.goodput_bin = options.goodput_bin;
-      baselines::FixedRateConnection connection(simulator, topology,
-                                                config);
-      connection.start();
-      run_clock(simulator, scenario);
-      collect_common(connection.goodput(), connection.block_delays(),
-                     scenario, result);
-      result.redundant_symbols = connection.receiver().redundant_symbols();
-      result.symbols_sent = connection.sender().symbols_sent();
+      std::unique_ptr<baselines::FixedRateConnection> connection;
+      {
+        FMTCP_SPAN("sweep.cell.setup");
+        baselines::FixedRateConnectionConfig config;
+        config.params = options.fixed_rate;
+        config.subflow = options.subflow;
+        config.subflow.observer = scenario.observer;
+        config.goodput_bin = options.goodput_bin;
+        connection = std::make_unique<baselines::FixedRateConnection>(
+            simulator, topology, config);
+        connection->start();
+      }
+      {
+        FMTCP_SPAN("sweep.cell.sim");
+        run_clock(simulator, scenario);
+      }
+      {
+        FMTCP_SPAN("sweep.cell.collect");
+        collect_common(connection->goodput(), connection->block_delays(),
+                       scenario, result);
+        result.redundant_symbols =
+            connection->receiver().redundant_symbols();
+        result.symbols_sent = connection->sender().symbols_sent();
+      }
+      {
+        FMTCP_SPAN("sweep.cell.teardown");
+        connection.reset();
+      }
       break;
     }
   }

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/trace/span.h"
 
 namespace fmtcp::harness {
 
@@ -23,6 +24,7 @@ std::size_t SweepRunner::submit(SweepJob job) {
 }
 
 std::vector<RunResult> SweepRunner::run() {
+  FMTCP_SPAN_ARG("sweep.run", queue_.size());
   std::vector<SweepJob> jobs = std::move(queue_);
   queue_.clear();
   std::vector<RunResult> results(jobs.size());
@@ -48,14 +50,23 @@ std::vector<RunResult> SweepRunner::run() {
 
   const unsigned threads =
       std::min<unsigned>(jobs_, static_cast<unsigned>(jobs.size()));
+  obs::trace::SpanScope startup_span("sweep.pool_start");
   ThreadPool pool(threads);
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    pool.submit([&jobs, &results, i] {
-      results[i] =
-          run_scenario(jobs[i].protocol, jobs[i].scenario, jobs[i].options);
-    });
+  startup_span.close();
+  {
+    FMTCP_SPAN_ARG("sweep.dispatch", jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      pool.submit([&jobs, &results, i] {
+        results[i] = run_scenario(jobs[i].protocol, jobs[i].scenario,
+                                  jobs[i].options);
+      });
+    }
   }
-  pool.wait();
+  {
+    // Main-thread time blocked on workers; overlap, not extra work.
+    FMTCP_SPAN("sweep.wait");
+    pool.wait();
+  }
   return results;
 }
 

@@ -1,11 +1,51 @@
 #include "obs/timeline.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <mutex>
+#include <vector>
 
 #include "common/check.h"
 
 namespace fmtcp::obs {
+
+namespace {
+
+// Open file sinks, so a failed FMTCP_CHECK can flush them before the
+// process aborts (see flush_all_timelines). Guarded: timelines are
+// single-threaded, but independent runs on different threads may each
+// own one.
+std::mutex g_sinks_mutex;
+std::vector<std::FILE*>& sinks() {
+  static std::vector<std::FILE*>* files = new std::vector<std::FILE*>;
+  return *files;
+}
+
+void register_sink(std::FILE* file) {
+  std::lock_guard<std::mutex> lock(g_sinks_mutex);
+  sinks().push_back(file);
+  detail::check_failure_hook().store(&flush_all_timelines);
+}
+
+void unregister_sink(std::FILE* file) {
+  std::lock_guard<std::mutex> lock(g_sinks_mutex);
+  auto& files = sinks();
+  files.erase(std::remove(files.begin(), files.end(), file),
+              files.end());
+}
+
+}  // namespace
+
+void flush_all_timelines() {
+  std::lock_guard<std::mutex> lock(g_sinks_mutex);
+  for (std::FILE* file : sinks()) {
+    std::fflush(file);
+    fsync(fileno(file));
+  }
+}
 
 const char* event_type_name(EventType type) {
   switch (type) {
@@ -39,6 +79,40 @@ const char* event_type_name(EventType type) {
   return "?";
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 // Every record serializes with the same uniform keys so one parser reads
 // every type; the per-type meaning of sf/id/a/b is documented on
 // EventType. Example line:
@@ -48,9 +122,10 @@ std::string to_jsonl(const TimelineEvent& event) {
   std::snprintf(buffer, sizeof(buffer),
                 "{\"ev\":\"%s\",\"t\":%.9f,\"sf\":%u,\"id\":%llu,"
                 "\"a\":%.9g,\"b\":%.9g}",
-                event_type_name(event.type), to_seconds(event.t),
-                event.subflow, static_cast<unsigned long long>(event.id),
-                event.a, event.b);
+                json_escape(event_type_name(event.type)).c_str(),
+                to_seconds(event.t), event.subflow,
+                static_cast<unsigned long long>(event.id), event.a,
+                event.b);
   return buffer;
 }
 
@@ -61,7 +136,10 @@ EventTimeline::EventTimeline(std::size_t ring_capacity)
 }
 
 EventTimeline::~EventTimeline() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ != nullptr) {
+    unregister_sink(file_);
+    std::fclose(file_);
+  }
 }
 
 void EventTimeline::open_jsonl(const std::string& path) {
@@ -72,6 +150,11 @@ void EventTimeline::open_jsonl(const std::string& path) {
                  path.c_str(), std::strerror(errno));
     FMTCP_CHECK(file_ != nullptr);
   }
+  // Line buffering keeps the file at a record boundary at all times: a
+  // fully-buffered sink flushes mid-line whenever the 4 KiB buffer
+  // happens to fill, so a crashed run used to truncate its last record.
+  std::setvbuf(file_, nullptr, _IOLBF, 1 << 12);
+  register_sink(file_);
 }
 
 void EventTimeline::emit(const TimelineEvent& event) {
@@ -83,9 +166,11 @@ void EventTimeline::emit(const TimelineEvent& event) {
     next_ = (next_ + 1) % capacity_;
   }
   if (file_ != nullptr) {
-    const std::string line = to_jsonl(event);
+    // One fwrite per complete line (newline included) so the
+    // line-buffered stream hits the kernel only at record boundaries.
+    std::string line = to_jsonl(event);
+    line += '\n';
     std::fwrite(line.data(), 1, line.size(), file_);
-    std::fputc('\n', file_);
   }
 }
 

@@ -87,4 +87,13 @@ class EventTimeline {
 /// exact format EventTimeline's file sink produces.
 std::string to_jsonl(const TimelineEvent& event);
 
+/// JSON string-body escaping (quotes, backslashes, control chars) used
+/// by the JSONL writer. Exposed for tests and other JSON emitters.
+std::string json_escape(const std::string& s);
+
+/// Flushes (and fsyncs) every open timeline file sink. Installed as the
+/// FMTCP_CHECK failure hook so a crashing run keeps the events it
+/// emitted; safe to call at any time.
+void flush_all_timelines();
+
 }  // namespace fmtcp::obs

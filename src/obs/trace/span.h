@@ -1,0 +1,125 @@
+// Scoped-span instrumentation macros: the hot-path face of the trace
+// plane (see obs/trace/tracer.h for the session/drain side).
+//
+//   void SweepRunner::run() {
+//     FMTCP_SPAN("sweep.run");
+//     ...
+//   }
+//
+// When no trace session is active (the default), FMTCP_SPAN costs one
+// relaxed atomic load and a predictable branch — cheap enough to leave
+// compiled into scheduler/codec/pool hot paths. When a session is
+// active, scope entry stamps a steady-clock timestamp and scope exit
+// appends one fixed-size record to the calling thread's ring buffer and
+// folds the duration into the thread's aggregate table; threads never
+// touch each other's state, so instrumented code stays safe under
+// `--jobs N`.
+//
+// FMTCP_COUNT is the counter counterpart for sites too hot to span
+// (per-symbol codec work, per-buffer pool traffic): a per-thread shard
+// bumped locally and merged at drain.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fmtcp::obs::trace {
+
+namespace detail {
+
+/// The single global gate every instrumentation site checks. Defined in
+/// tracer.cc; flipped by trace::start()/trace::stop().
+extern std::atomic<bool> g_tracing_enabled;
+
+/// Per-thread counter shard bump (slow path, only when tracing).
+void count_slow(const char* name, std::uint64_t n);
+
+}  // namespace detail
+
+/// True while a trace session is active (between start() and stop()).
+/// Acquire pairs with the release store in start(): a thread that sees
+/// the session as active also sees its shards cleared. On x86 this is
+/// the same plain load a relaxed read would be.
+inline bool tracing_enabled() {
+  return detail::g_tracing_enabled.load(std::memory_order_acquire);
+}
+
+/// RAII scoped span. Prefer the FMTCP_SPAN macro; construct directly
+/// only when the scope needs an explicit early close().
+///
+/// `name` must be a string literal (or otherwise outlive the session):
+/// records key on the pointer and aggregation dedupes by content.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name, std::uint64_t arg = 0) {
+    if (tracing_enabled()) begin(name, arg);
+  }
+  ~SpanScope() {
+    if (armed_) finish();
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Ends the span now instead of at scope exit. Idempotent.
+  void close() {
+    if (armed_) {
+      finish();
+      armed_ = false;
+    }
+  }
+
+  /// Sets the record's free-form argument (bytes, cell index, ...).
+  void set_arg(std::uint64_t arg) { arg_ = arg; }
+
+ private:
+  void begin(const char* name, std::uint64_t arg);  // tracer.cc
+  void finish();                                    // tracer.cc
+
+  bool armed_ = false;
+  const char* name_ = nullptr;
+  std::uint64_t begin_ns_ = 0;
+  std::uint64_t arg_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t child_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  SpanScope* parent_ = nullptr;
+  void* thread_state_ = nullptr;  ///< detail::ThreadState, owned globally.
+};
+
+/// Bumps the named trace counter by `n` (no-op without a session).
+inline void count(const char* name, std::uint64_t n = 1) {
+  if (tracing_enabled()) detail::count_slow(name, n);
+}
+
+/// Records an already-measured interval as a completed span (no open
+/// scope). Used where RAII does not fit, e.g. a worker measuring how
+/// long it waited before waking: the wait must not hold a scope open
+/// across a drain. `begin_ns`/`end_ns` are steady_clock nanoseconds
+/// (trace::clock_ns()). No-op without a session.
+void record_complete(const char* name, std::uint64_t begin_ns,
+                     std::uint64_t end_ns, std::uint64_t arg = 0);
+
+/// steady_clock::now() in nanoseconds — the clock every span uses.
+std::uint64_t clock_ns();
+
+/// Labels the calling thread in trace exports ("pool-worker-3"). Safe
+/// to call with or without an active session; the latest name wins.
+void set_thread_name(const char* name);
+
+}  // namespace fmtcp::obs::trace
+
+#define FMTCP_SPAN_CONCAT2(a, b) a##b
+#define FMTCP_SPAN_CONCAT(a, b) FMTCP_SPAN_CONCAT2(a, b)
+
+/// Scoped span covering the rest of the enclosing block.
+#define FMTCP_SPAN(name)                                    \
+  ::fmtcp::obs::trace::SpanScope FMTCP_SPAN_CONCAT(         \
+      fmtcp_span_scope_, __COUNTER__) { (name) }
+
+/// Scoped span with a free-form u64 argument attached to the record.
+#define FMTCP_SPAN_ARG(name, arg)                           \
+  ::fmtcp::obs::trace::SpanScope FMTCP_SPAN_CONCAT(         \
+      fmtcp_span_scope_, __COUNTER__) { (name), (arg) }
+
+/// Per-thread sharded counter bump (for sites too hot to span).
+#define FMTCP_COUNT(name, n) ::fmtcp::obs::trace::count((name), (n))

@@ -1,0 +1,23 @@
+#include "obs/trace/span_metrics.h"
+
+namespace fmtcp::obs::trace {
+
+void merge_report(const TraceReport& report, MetricsRegistry& metrics) {
+  for (const SpanAggregate& span : report.spans) {
+    const std::string base = "span." + span.name;
+    metrics.counter(base + ".count").inc(span.count);
+    metrics.gauge(base + ".total_ms").set(span.total_ms);
+    metrics.gauge(base + ".self_ms").set(span.self_ms);
+    metrics.gauge(base + ".p50_ms").set(span.p50_ms);
+    metrics.gauge(base + ".p99_ms").set(span.p99_ms);
+    metrics.gauge(base + ".max_ms").set(span.max_ms);
+  }
+  for (const CounterAggregate& counter : report.counters) {
+    metrics.counter("trace." + counter.name).inc(counter.value);
+  }
+  if (report.dropped_records > 0) {
+    metrics.counter("trace.dropped_records").inc(report.dropped_records);
+  }
+}
+
+}  // namespace fmtcp::obs::trace

@@ -1,0 +1,111 @@
+// Cross-thread span profiler: session control and post-run drain.
+//
+// A *session* is one start()/stop() pair wrapping a quiescent region of
+// interest (a bench mode, a tool run). While active, every FMTCP_SPAN /
+// FMTCP_COUNT site in the process records into per-thread state:
+//
+//   - a fixed-capacity ring of SpanRecord (drop-oldest on overflow,
+//     dropped count reported) feeding the Chrome-trace exporter, and
+//   - an exact per-span-name aggregate table (count, total/self time,
+//     log-bucketed duration histogram for approximate p50/p99) that is
+//     *not* subject to ring overflow.
+//
+// Threads only ever write their own state; stop() merges everything
+// into one TraceReport. The contract is quiescence: call stop() only
+// when no instrumented thread is mid-span (after ThreadPool::wait() or
+// thread join — both establish the needed happens-before edge; the ring
+// write cursor is release/acquire as a belt-and-braces handoff).
+//
+// Sessions are process-global and strictly sequential; nesting start()
+// calls is a checked error.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fmtcp::obs::trace {
+
+struct TraceConfig {
+  /// SpanRecords retained per thread; on overflow the oldest records
+  /// are dropped (the aggregate table is unaffected).
+  std::size_t ring_capacity = 1 << 15;
+  /// False = aggregate-only profiling (--profile): spans still fold
+  /// into the stats table but no records are retained for export.
+  bool capture_records = true;
+};
+
+/// One completed span, as retained in the ring. Timestamps are
+/// steady_clock nanoseconds (trace::clock_ns()).
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t self_ns = 0;    ///< Duration minus direct children.
+  std::uint64_t span_id = 0;    ///< Unique per session, never 0.
+  std::uint64_t parent_id = 0;  ///< 0 = top-level.
+  std::uint64_t arg = 0;
+  std::uint32_t depth = 0;      ///< 0 = top-level.
+  std::uint32_t thread_index = 0;
+};
+
+/// Per-span-name aggregate over the whole session (all threads).
+struct SpanAggregate {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;  ///< Sum of durations (children included).
+  double self_ms = 0.0;   ///< Sum of durations minus direct children.
+  double max_ms = 0.0;
+  double p50_ms = 0.0;  ///< Approximate (log-bucketed, ~19% resolution).
+  double p99_ms = 0.0;
+};
+
+struct CounterAggregate {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct TraceReport {
+  /// Session wall-clock bounds (steady ns), for relative timestamps.
+  std::uint64_t session_begin_ns = 0;
+  std::uint64_t session_end_ns = 0;
+  bool captured_records = false;
+
+  /// Retained records, merged across threads, ordered by end time per
+  /// thread (the order they were written).
+  std::vector<SpanRecord> records;
+  /// Records lost to ring overflow, summed over threads.
+  std::uint64_t dropped_records = 0;
+
+  /// Aggregates sorted by self time, largest first.
+  std::vector<SpanAggregate> spans;
+  /// FMTCP_COUNT totals, sorted by name.
+  std::vector<CounterAggregate> counters;
+
+  /// index -> name for every thread that recorded this session.
+  std::vector<std::pair<std::uint32_t, std::string>> threads;
+
+  double session_ms() const {
+    return static_cast<double>(session_end_ns - session_begin_ns) / 1e6;
+  }
+  /// The aggregate for `name`, or nullptr.
+  const SpanAggregate* find(const std::string& name) const;
+};
+
+/// Opens a session. Checked error if one is already active.
+void start(const TraceConfig& config = {});
+
+/// True between start() and stop().
+bool active();
+
+/// Closes the session and drains every thread's state. Checked error
+/// without an active session. Callers must have quiesced instrumented
+/// threads first (see file comment).
+TraceReport stop();
+
+/// Human-readable aggregate table (the `--profile` / `--spans` output):
+/// one row per span name sorted by self time, then counters.
+std::string format_span_table(const TraceReport& report);
+
+}  // namespace fmtcp::obs::trace

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace/span.h"
 
 namespace fmtcp::sim {
 
@@ -141,6 +142,7 @@ void Scheduler::note_cancelled() {
 }
 
 void Scheduler::compact() {
+  FMTCP_SPAN_ARG("sched.compact", heap_.size());
   ++compactions_;
   std::size_t kept = 0;
   for (std::size_t i = 0; i < heap_.size(); ++i) {
@@ -206,6 +208,9 @@ bool Scheduler::step() {
 
 void Scheduler::run_until(SimTime deadline) {
   FMTCP_CHECK(deadline >= now_);
+  // Records events executed in this slice as the span argument.
+  obs::trace::SpanScope span("sched.run_until");
+  const std::uint64_t executed_before = executed_;
   while (!heap_.empty()) {
     const Entry& top = heap_.front();
     if (top.state && top.state->cancelled) {
@@ -219,6 +224,7 @@ void Scheduler::run_until(SimTime deadline) {
     step();
   }
   now_ = deadline;
+  span.set_arg(executed_ - executed_before);
 }
 
 void Scheduler::run() {

@@ -52,5 +52,46 @@ TEST(BufferPool, FreeListCapped) {
   EXPECT_EQ(pool.free_count(), 2u);
 }
 
+TEST(BufferPool, StatsTrackOutstandingAndHighWater) {
+  BufferPool pool;
+  auto a = pool.acquire(32);
+  auto b = pool.acquire(32);
+  auto c = pool.acquire(32);
+  BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.acquired, 3u);
+  EXPECT_EQ(stats.allocated, 3u);
+  EXPECT_EQ(stats.reused, 0u);
+  EXPECT_EQ(stats.outstanding, 3);
+  EXPECT_EQ(stats.high_water, 3);
+
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  stats = pool.stats();
+  EXPECT_EQ(stats.released, 2u);
+  EXPECT_EQ(stats.outstanding, 1);
+  EXPECT_EQ(stats.high_water, 3);  // High-water mark never recedes.
+  EXPECT_EQ(stats.free, 2u);
+
+  auto d = pool.acquire(32);  // Served from the free list.
+  stats = pool.stats();
+  EXPECT_EQ(stats.acquired, 4u);
+  EXPECT_EQ(stats.reused, 1u);
+  EXPECT_EQ(stats.allocated, 3u);
+  EXPECT_EQ(stats.outstanding, 2);
+  EXPECT_EQ(stats.free, 1u);
+}
+
+TEST(BufferPool, StatsCountDroppedReleases) {
+  BufferPool pool(/*max_free=*/1);
+  pool.release(std::vector<std::uint8_t>(8, 0));
+  pool.release(std::vector<std::uint8_t>(8, 0));
+  pool.release(std::vector<std::uint8_t>(8, 0));
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.released, 3u);
+  EXPECT_EQ(stats.dropped, 2u);
+  EXPECT_EQ(stats.free, 1u);
+  EXPECT_EQ(stats.outstanding, -3);  // Never-acquired buffers released.
+}
+
 }  // namespace
 }  // namespace fmtcp

@@ -164,5 +164,26 @@ TEST(TimelineSummary, AggregatesPerSubflowAndPerBlock) {
   EXPECT_NE(report.find("blocks: 2 decoded"), std::string::npos);
 }
 
+TEST(Timeline, JsonEscapeHandlesSpecialsAndControlChars) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("cr\rhere"), "cr\\rhere");
+  EXPECT_EQ(json_escape(std::string("nul\x01""byte")), "nul\\u0001byte");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(Timeline, JsonlLinesNeverContainRawNewlines) {
+  for (int i = 0; i <= static_cast<int>(EventType::kSimProgress); ++i) {
+    const std::string line =
+        to_jsonl({static_cast<EventType>(i), 0, 0, 0, 0.0, 0.0});
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
 }  // namespace
 }  // namespace fmtcp::obs

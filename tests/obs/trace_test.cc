@@ -1,0 +1,301 @@
+// Span tracer: session control, nesting, ring overflow, cross-thread
+// drains, Chrome export round-trip, metrics merge.
+//
+// Sessions are process-global, so every test opens its own via the RAII
+// guard below (gtest runs tests in one process sequentially; a test
+// that fails mid-session must not wedge the rest).
+#include "obs/trace/span.h"
+#include "obs/trace/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <latch>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace/chrome_trace.h"
+#include "obs/trace/span_metrics.h"
+
+namespace fmtcp::obs::trace {
+namespace {
+
+/// Opens a session for one test; stops it on scope exit if the test
+/// body did not drain it itself.
+class SessionGuard {
+ public:
+  explicit SessionGuard(const TraceConfig& config = {}) { start(config); }
+  ~SessionGuard() {
+    if (active()) stop();
+  }
+};
+
+/// Spins until the span has a measurable (> 0 bucket) duration.
+void burn_some_time() {
+  const std::uint64_t until = clock_ns() + 20'000;  // 20 us.
+  while (clock_ns() < until) {
+  }
+}
+
+const SpanRecord* find_record(const TraceReport& report,
+                              const std::string& name) {
+  for (const SpanRecord& record : report.records) {
+    if (name == record.name) return &record;
+  }
+  return nullptr;
+}
+
+TEST(SpanTracer, DisabledSessionRecordsNothing) {
+  ASSERT_FALSE(tracing_enabled());
+  {
+    FMTCP_SPAN("test.disabled");
+    FMTCP_COUNT("test.disabled_count", 3);
+    record_complete("test.disabled_rc", 1, 2);
+  }
+  SessionGuard session;
+  const TraceReport report = stop();
+  EXPECT_TRUE(report.spans.empty());
+  EXPECT_TRUE(report.counters.empty());
+  EXPECT_TRUE(report.records.empty());
+  EXPECT_EQ(report.dropped_records, 0u);
+}
+
+TEST(SpanTracer, NestingTracksParentDepthAndSelfTime) {
+  SessionGuard session;
+  {
+    FMTCP_SPAN("test.outer");
+    burn_some_time();
+    {
+      FMTCP_SPAN("test.inner");
+      burn_some_time();
+    }
+  }
+  const TraceReport report = stop();
+
+  const SpanRecord* outer = find_record(report, "test.outer");
+  const SpanRecord* inner = find_record(report, "test.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(inner->depth, 1u);
+  EXPECT_EQ(inner->parent_id, outer->span_id);
+  EXPECT_NE(inner->span_id, outer->span_id);
+
+  // The child's interval nests inside the parent's, and the parent's
+  // self time is exactly its duration minus the child's.
+  EXPECT_GE(inner->begin_ns, outer->begin_ns);
+  EXPECT_LE(inner->end_ns, outer->end_ns);
+  const std::uint64_t outer_dur = outer->end_ns - outer->begin_ns;
+  const std::uint64_t inner_dur = inner->end_ns - inner->begin_ns;
+  EXPECT_EQ(outer->self_ns, outer_dur - inner_dur);
+  EXPECT_EQ(inner->self_ns, inner_dur);
+
+  const SpanAggregate* outer_agg = report.find("test.outer");
+  ASSERT_NE(outer_agg, nullptr);
+  EXPECT_EQ(outer_agg->count, 1u);
+  EXPECT_LE(outer_agg->self_ms, outer_agg->total_ms);
+}
+
+TEST(SpanTracer, AggregatesSurviveWithoutRecordCapture) {
+  TraceConfig config;
+  config.capture_records = false;
+  SessionGuard session(config);
+  for (int i = 0; i < 100; ++i) {
+    FMTCP_SPAN("test.loop");
+  }
+  const TraceReport report = stop();
+  EXPECT_TRUE(report.records.empty());
+  EXPECT_FALSE(report.captured_records);
+  const SpanAggregate* agg = report.find("test.loop");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->count, 100u);
+  EXPECT_GE(agg->total_ms, agg->self_ms);
+  EXPECT_LE(agg->p50_ms, agg->p99_ms);
+  EXPECT_GT(agg->p99_ms, 0.0);
+}
+
+TEST(SpanTracer, RingOverflowDropsOldestAndCountsDropped) {
+  TraceConfig config;
+  config.ring_capacity = 4;
+  SessionGuard session(config);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const std::uint64_t now = clock_ns();
+    record_complete("test.rc", now, now + 1, /*arg=*/i);
+  }
+  const TraceReport report = stop();
+  EXPECT_EQ(report.dropped_records, 6u);
+  ASSERT_EQ(report.records.size(), 4u);
+  // Drop-oldest: the newest four records (args 6..9) survive, in order.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(report.records[i].arg, 6 + i);
+  }
+  // The aggregate table is exempt from ring overflow.
+  const SpanAggregate* agg = report.find("test.rc");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->count, 10u);
+}
+
+TEST(SpanTracer, SpanArgAndEarlyCloseAreRecorded) {
+  SessionGuard session;
+  std::uint64_t closed_at = 0;
+  {
+    SpanScope span("test.early", 7);
+    span.set_arg(42);
+    span.close();
+    span.close();  // Idempotent.
+    closed_at = clock_ns();
+    burn_some_time();  // After close(): must not count.
+  }
+  const TraceReport report = stop();
+  const SpanRecord* record = find_record(report, "test.early");
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->arg, 42u);
+  EXPECT_LE(record->end_ns, closed_at);
+  const SpanAggregate* agg = report.find("test.early");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->count, 1u);  // close() + destructor record once.
+}
+
+TEST(SpanTracer, CrossThreadDrainIsExactAndDeterministic) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  for (int round = 0; round < 2; ++round) {
+    SessionGuard session;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t] {
+        for (int i = 0; i < kSpansPerThread; ++i) {
+          FMTCP_SPAN_ARG("test.worker", static_cast<std::uint64_t>(t));
+          FMTCP_COUNT("test.worker_count", 2);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    // join() established the happens-before edge stop() requires.
+    const TraceReport report = stop();
+
+    const SpanAggregate* agg = report.find("test.worker");
+    ASSERT_NE(agg, nullptr);
+    EXPECT_EQ(agg->count,
+              static_cast<std::uint64_t>(kThreads * kSpansPerThread));
+    ASSERT_EQ(report.counters.size(), 1u);
+    EXPECT_EQ(report.counters[0].name, "test.worker_count");
+    EXPECT_EQ(report.counters[0].value,
+              static_cast<std::uint64_t>(kThreads * kSpansPerThread * 2));
+
+    std::set<std::uint32_t> record_threads;
+    std::map<std::uint32_t, int> per_thread;
+    for (const SpanRecord& record : report.records) {
+      record_threads.insert(record.thread_index);
+      ++per_thread[record.thread_index];
+    }
+    EXPECT_EQ(record_threads.size(), static_cast<std::size_t>(kThreads));
+    for (const auto& [index, count] : per_thread) {
+      EXPECT_EQ(count, kSpansPerThread);
+    }
+  }
+}
+
+TEST(SpanTracer, ThreadPoolWorkersReportDistinctThreadIds) {
+  constexpr unsigned kWorkers = 3;
+  SessionGuard session;
+  ThreadPool pool(kWorkers);
+  // The latch forces every task onto a different worker: none can
+  // finish until all three are running.
+  std::latch all_running(kWorkers);
+  for (unsigned i = 0; i < kWorkers; ++i) {
+    pool.submit([&all_running] {
+      FMTCP_SPAN("test.pool_task");
+      all_running.arrive_and_wait();
+    });
+  }
+  pool.wait();
+  // wait() established the happens-before edge stop() requires.
+  const TraceReport report = stop();
+
+  std::set<std::uint32_t> task_threads;
+  for (const SpanRecord& record : report.records) {
+    if (std::string(record.name) == "test.pool_task") {
+      task_threads.insert(record.thread_index);
+    }
+  }
+  EXPECT_EQ(task_threads.size(), static_cast<std::size_t>(kWorkers));
+
+  // The pool's own instrumentation fired too, from named threads.
+  const SpanAggregate* task_agg = report.find("threadpool.task");
+  ASSERT_NE(task_agg, nullptr);
+  EXPECT_GE(task_agg->count, static_cast<std::uint64_t>(kWorkers));
+  std::set<std::string> names;
+  for (const auto& [index, name] : report.threads) names.insert(name);
+  bool found_worker_name = false;
+  for (const std::string& name : names) {
+    if (name.rfind("pool-worker-", 0) == 0) found_worker_name = true;
+  }
+  EXPECT_TRUE(found_worker_name);
+}
+
+TEST(SpanTracer, ChromeExportRoundTripsSpanTable) {
+  SessionGuard session;
+  set_thread_name("main-test-thread");
+  for (int i = 0; i < 5; ++i) {
+    FMTCP_SPAN("test.export");
+    burn_some_time();
+  }
+  const TraceReport report = stop();
+  const std::string json = to_chrome_trace_json(report);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("main-test-thread"), std::string::npos);
+
+  std::istringstream in(json);
+  const ChromeTraceSummary summary = summarize_chrome_trace(in);
+  EXPECT_EQ(summary.events_parsed, report.records.size());
+  const SpanAggregate* agg = summary.report.find("test.export");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->count, 5u);
+  EXPECT_GT(agg->total_ms, 0.0);
+}
+
+TEST(SpanTracer, MergeReportNamesSpanAndCounterMetrics) {
+  SessionGuard session;
+  {
+    FMTCP_SPAN("test.merged");
+    FMTCP_COUNT("test.merged_count", 9);
+  }
+  const TraceReport report = stop();
+
+  MetricsRegistry metrics;
+  merge_report(report, metrics);
+  EXPECT_EQ(metrics.counter_value("span.test.merged.count"), 1u);
+  EXPECT_GE(metrics.gauge_value("span.test.merged.total_ms"),
+            metrics.gauge_value("span.test.merged.self_ms"));
+  EXPECT_EQ(metrics.counter_value("trace.test.merged_count"), 9u);
+  EXPECT_EQ(metrics.counter_value("trace.dropped_records"), 0u);
+}
+
+TEST(SpanTracer, BackToBackSessionsDoNotLeakState) {
+  {
+    SessionGuard session;
+    FMTCP_SPAN("test.first");
+    FMTCP_COUNT("test.first_count", 1);
+  }
+  SessionGuard session;
+  {
+    FMTCP_SPAN("test.second");
+  }
+  const TraceReport report = stop();
+  EXPECT_EQ(report.find("test.first"), nullptr);
+  EXPECT_TRUE(report.counters.empty());
+  const SpanAggregate* agg = report.find("test.second");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->count, 1u);
+  ASSERT_EQ(report.records.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fmtcp::obs::trace

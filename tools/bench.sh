@@ -17,11 +17,11 @@ cmake -B "$build" -S "$repo"
 cmake --build "$build" -j "$(nproc)" --target \
   bench_sweep bench_sim_micro bench_codec_micro
 
-# --jobs=2 floor so the pooled path is exercised even on 1-core boxes
-# (the JSON records the thread count used).
-jobs="$(nproc)"
-[ "$jobs" -lt 2 ] && jobs=2
-"$build/bench/bench_sweep" --jobs="$jobs" --json="$repo/BENCH_sweep.json"
+# Scaling mode: serial baseline plus 2/4/8-thread pooled runs, each
+# under a span-profiling session. The JSON records per-mode wall time,
+# the span aggregate tables, and the "slowdown" analysis naming the
+# span whose self time grew most from jobs=1 to jobs=2.
+"$build/bench/bench_sweep" --jobs=1,2,4,8 --json="$repo/BENCH_sweep.json"
 
 # Codec decode-throughput baseline (tools/check.sh FMTCP_BENCH_GUARD=1
 # compares future runs against this file). Three separate processes,

@@ -36,12 +36,14 @@ if [ "${FMTCP_TSAN:-0}" = "1" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$build" -j "$(nproc)"
 
-  # The concurrency surface: pool, sweep determinism, uid streams —
-  # plus a parallel sweep under load. Everything else is single-threaded
-  # by construction and covered by the ASan mode.
+  # The concurrency surface: pool, sweep determinism, uid streams, span
+  # tracer cross-thread drains — plus a traced parallel sweep under
+  # load. Everything else is single-threaded by construction and
+  # covered by the ASan mode.
   (cd "$build" && ctest --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|SweepRunner|Sweep\.|PacketUid|UidsUnique|GlobalUids')
-  "$build/bench/bench_sweep" --seconds=2 --seeds=1 --jobs=4
+    -R 'ThreadPool|SweepRunner|Sweep\.|PacketUid|UidsUnique|GlobalUids|SpanTracer')
+  "$build/bench/bench_sweep" --seconds=2 --seeds=1 --jobs=4 \
+    --trace-out="$build/check_spans.json"
 
   echo "check.sh (tsan): all good"
   exit 0
@@ -56,10 +58,15 @@ cmake --build "$build" -j "$(nproc)"
 (cd "$build" && ctest --output-on-failure -j "$(nproc)")
 
 # A short observability-instrumented run exercises the JSONL/JSON
-# writers under the sanitizers too.
+# writers under the sanitizers too, and the --trace-out output must
+# parse as valid JSON (Perfetto/chrome://tracing compatibility).
 "$build/tools/fmtcp_sim" --protocol=fmtcp --loss2=0.15 --duration=5 \
   --metrics-json="$build/check_metrics.json" \
-  --timeline="$build/check_timeline.jsonl"
+  --timeline="$build/check_timeline.jsonl" \
+  --trace-out="$build/check_spans.json" --profile
 "$build/tools/trace_summary" --timeline "$build/check_timeline.jsonl"
+"$build/tools/trace_summary" --spans "$build/check_spans.json"
+python3 -m json.tool "$build/check_spans.json" > /dev/null
+python3 -m json.tool "$build/check_metrics.json" > /dev/null
 
 echo "check.sh: all good"

@@ -11,6 +11,8 @@
 //   fmtcp_sim --protocol=fmtcp --trace=/tmp/run.csv --duration=5
 //   fmtcp_sim --protocol=fmtcp --metrics-json=m.json --timeline=t.jsonl
 //   fmtcp_sim --protocol=fmtcp --log-level=debug --duration=2
+//   fmtcp_sim --protocol=fmtcp --profile --duration=10
+//   fmtcp_sim --protocol=fmtcp --trace-out=trace.json --duration=10
 #include <cstdio>
 #include <memory>
 #include <sstream>
@@ -23,6 +25,9 @@
 #include "harness/sweep.h"
 #include "net/trace.h"
 #include "obs/observer.h"
+#include "obs/trace/chrome_trace.h"
+#include "obs/trace/span_metrics.h"
+#include "obs/trace/tracer.h"
 
 using namespace fmtcp;
 using namespace fmtcp::harness;
@@ -91,6 +96,25 @@ void write_metrics_json(const obs::MetricsRegistry& metrics,
   FMTCP_CHECK(std::fclose(file) == 0);
 }
 
+/// Stops the span tracer and emits its outputs: the Chrome trace file
+/// (when requested), the aggregate table (--profile), and — when a
+/// metrics registry is being written — the span.* / trace.* metrics.
+obs::trace::TraceReport finish_tracing(const std::string& trace_out_path,
+                                       bool profile,
+                                       obs::MetricsRegistry* metrics) {
+  obs::trace::TraceReport report = obs::trace::stop();
+  if (metrics != nullptr) obs::trace::merge_report(report, *metrics);
+  if (!trace_out_path.empty()) {
+    obs::trace::write_chrome_trace(report, trace_out_path);
+    std::printf("span trace:      %zu records -> %s\n",
+                report.records.size(), trace_out_path.c_str());
+  }
+  if (profile) {
+    std::printf("\n%s", obs::trace::format_span_table(report).c_str());
+  }
+  return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -156,6 +180,10 @@ int main(int argc, char** argv) {
       "metrics-json", "", "write run metrics as JSON to file");
   const std::string timeline_path = flags.get_string(
       "timeline", "", "write event timeline as JSONL to file");
+  const std::string trace_out_path = flags.get_string(
+      "trace-out", "", "write Chrome/Perfetto span trace to file");
+  const bool profile = flags.get_bool(
+      "profile", false, "print the span-profile aggregate table");
   const std::string log_level_name = flags.get_string(
       "log-level", "warn", "trace | debug | info | warn | error");
 
@@ -192,6 +220,15 @@ int main(int argc, char** argv) {
 
   const Protocol protocol = parse_protocol(protocol_name);
 
+  const bool tracing = profile || !trace_out_path.empty();
+  if (tracing) {
+    obs::trace::TraceConfig trace_config;
+    // The ring (per-event records) only feeds the Chrome exporter; the
+    // aggregate table is exact regardless, so skip capture for --profile.
+    trace_config.capture_records = !trace_out_path.empty();
+    obs::trace::start(trace_config);
+  }
+
   if (seed_count > 1) {
     if (tracer || observer) {
       std::fprintf(stderr,
@@ -223,6 +260,7 @@ int main(int argc, char** argv) {
         results, [](const RunResult& r) { return r.mean_delay_ms; });
     std::printf("mean\t%.4f +/- %.4f\t%.1f +/- %.1f ms\n", goodput.mean,
                 goodput.stddev, delay.mean, delay.stddev);
+    if (tracing) finish_tracing(trace_out_path, profile, nullptr);
     return 0;
   }
 
@@ -263,6 +301,10 @@ int main(int argc, char** argv) {
     std::printf("trace:           %llu rows -> %s\n",
                 static_cast<unsigned long long>(tracer->rows_written()),
                 trace_path.c_str());
+  }
+  if (tracing) {
+    finish_tracing(trace_out_path, profile,
+                   observer ? &observer->metrics : nullptr);
   }
   if (observer) {
     if (metrics_file != nullptr) {
