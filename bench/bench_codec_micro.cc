@@ -205,8 +205,8 @@ class EagerReferenceDecoder {
  private:
   /// The seed's BitVector: heap storage, allocated per construction.
   struct RefBitVector {
-    explicit RefBitVector(std::size_t bits)
-        : bits(bits), words((bits + 63) / 64, 0) {}
+    explicit RefBitVector(std::size_t bit_count)
+        : bits(bit_count), words((bit_count + 63) / 64, 0) {}
     void set(std::size_t i) { words[i / 64] |= 1ULL << (i % 64); }
     bool get(std::size_t i) const {
       return (words[i / 64] >> (i % 64)) & 1ULL;

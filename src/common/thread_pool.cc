@@ -25,7 +25,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_ready_.notify_all();
@@ -36,7 +36,7 @@ void ThreadPool::submit(std::function<void()> task) {
   FMTCP_CHECK(task != nullptr);
   FMTCP_SPAN("threadpool.submit");
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
   work_ready_.notify_one();
@@ -44,8 +44,8 @@ void ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::wait() {
   FMTCP_SPAN("threadpool.wait");
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || in_flight_ != 0) idle_.wait(mutex_);
 }
 
 unsigned ThreadPool::hardware_threads() {
@@ -54,28 +54,31 @@ unsigned ThreadPool::hardware_threads() {
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     // Stamp the gap between finishing one task and starting the next —
     // the worker-idle signal in sweep profiles. Recorded only once a
     // task arrives, so no span stays open across a post-wait() drain.
     const std::uint64_t idle_begin = obs::trace::clock_ns();
-    work_ready_.wait(lock,
-                     [this] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // stopping_ and drained.
-    std::function<void()> task = std::move(queue_.front());
-    queue_.pop_front();
-    ++in_flight_;
-    lock.unlock();
+    std::function<void()> task;
+    {
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_ready_.wait(mutex_);
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
     obs::trace::record_complete("threadpool.idle", idle_begin,
                                 obs::trace::clock_ns());
     {
       FMTCP_SPAN("threadpool.task");
       task();
     }
-    lock.lock();
-    --in_flight_;
-    if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    {
+      MutexLock lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
   }
 }
 

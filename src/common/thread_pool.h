@@ -4,13 +4,14 @@
 // futures, no task graph — the sweep layer owns result placement.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace fmtcp {
 
@@ -24,10 +25,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Tasks must not throw.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) FMTCP_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has completed.
-  void wait();
+  void wait() FMTCP_EXCLUDES(mutex_);
 
   unsigned thread_count() const {
     return static_cast<unsigned>(workers_.size());
@@ -38,14 +39,14 @@ class ThreadPool {
   static unsigned hardware_threads();
 
  private:
-  void worker_loop();
+  void worker_loop() FMTCP_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar work_ready_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ FMTCP_GUARDED_BY(mutex_);
+  std::size_t in_flight_ FMTCP_GUARDED_BY(mutex_) = 0;
+  bool stopping_ FMTCP_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

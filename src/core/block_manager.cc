@@ -33,9 +33,9 @@ fountain::RandomLinearEncoder make_encoder(net::BlockId id,
 
 }  // namespace
 
-SenderBlock::SenderBlock(net::BlockId id, const FmtcpParams& params, Rng rng,
-                         BlockSource* source)
-    : id(id),
+SenderBlock::SenderBlock(net::BlockId block_id, const FmtcpParams& params,
+                         Rng rng, BlockSource* source)
+    : id(block_id),
       k_hat(params.block_symbols),
       encoder(make_encoder(id, params, rng, source)) {}
 

@@ -53,6 +53,7 @@ void run_clock(sim::Simulator& simulator, const Scenario& scenario) {
     simulator.run_until(scenario.duration);
     return;
   }
+  // NOLINT-DETERMINISM(feeds only the kSimProgress profiling record)
   using Clock = std::chrono::steady_clock;
   std::uint64_t last_events = simulator.scheduler().executed_count();
   Clock::time_point last_wall = Clock::now();
@@ -147,6 +148,7 @@ RunResult run_scenario(Protocol protocol, const Scenario& scenario,
 
   RunResult result;
   result.protocol = protocol;
+  // NOLINT-DETERMINISM(wall_seconds diagnostic; no result derives from it)
   const auto wall_start = std::chrono::steady_clock::now();
 
   switch (protocol) {
@@ -299,6 +301,7 @@ RunResult run_scenario(Protocol protocol, const Scenario& scenario,
   }
   result.sim_events = simulator.scheduler().executed_count();
   result.wall_seconds =
+      // NOLINT-DETERMINISM(wall_seconds diagnostic; no result derives from it)
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();

@@ -40,6 +40,7 @@ std::vector<RunResult> SweepRunner::run() {
 
   // Tracers and observers are single-threaded; concurrent cells must not
   // share them.
+  // NOLINT-DETERMINISM(duplicate-check membership only, never iterated)
   std::set<const void*> observers;
   for (const SweepJob& job : jobs) {
     FMTCP_CHECK(job.scenario.tracer == nullptr);

@@ -5,10 +5,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
-#include <mutex>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace fmtcp::obs {
 
@@ -18,20 +18,20 @@ namespace {
 // process aborts (see flush_all_timelines). Guarded: timelines are
 // single-threaded, but independent runs on different threads may each
 // own one.
-std::mutex g_sinks_mutex;
-std::vector<std::FILE*>& sinks() {
+Mutex g_sinks_mutex;
+std::vector<std::FILE*>& sinks() FMTCP_REQUIRES(g_sinks_mutex) {
   static std::vector<std::FILE*>* files = new std::vector<std::FILE*>;
   return *files;
 }
 
-void register_sink(std::FILE* file) {
-  std::lock_guard<std::mutex> lock(g_sinks_mutex);
+void register_sink(std::FILE* file) FMTCP_EXCLUDES(g_sinks_mutex) {
+  MutexLock lock(g_sinks_mutex);
   sinks().push_back(file);
   detail::check_failure_hook().store(&flush_all_timelines);
 }
 
-void unregister_sink(std::FILE* file) {
-  std::lock_guard<std::mutex> lock(g_sinks_mutex);
+void unregister_sink(std::FILE* file) FMTCP_EXCLUDES(g_sinks_mutex) {
+  MutexLock lock(g_sinks_mutex);
   auto& files = sinks();
   files.erase(std::remove(files.begin(), files.end(), file),
               files.end());
@@ -40,7 +40,7 @@ void unregister_sink(std::FILE* file) {
 }  // namespace
 
 void flush_all_timelines() {
-  std::lock_guard<std::mutex> lock(g_sinks_mutex);
+  MutexLock lock(g_sinks_mutex);
   for (std::FILE* file : sinks()) {
     std::fflush(file);
     fsync(fileno(file));

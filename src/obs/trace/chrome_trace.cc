@@ -218,11 +218,8 @@ ChromeTraceSummary summarize_chrome_trace(std::istream& in) {
     agg.p99_ms = at(0.99);
     summary.report.spans.push_back(std::move(agg));
   }
-  std::sort(summary.report.spans.begin(), summary.report.spans.end(),
-            [](const SpanAggregate& a, const SpanAggregate& b) {
-              if (a.self_ms != b.self_ms) return a.self_ms > b.self_ms;
-              return a.name < b.name;
-            });
+  // `spans` is a std::map, so this emits in name order — the same
+  // byte-stable ordering trace::stop() produces for live sessions.
   for (const auto& [tid, name] : threads) {
     summary.report.threads.emplace_back(tid, name);
   }

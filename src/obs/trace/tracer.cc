@@ -7,10 +7,12 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/trace/span.h"
 
 namespace fmtcp::obs::trace {
@@ -76,17 +78,37 @@ struct ThreadState {
 
   std::uint64_t next_span_seq = 0;
 
-  std::unordered_map<const char*, SpanShard> spans;
-  std::unordered_map<const char*, std::uint64_t> counters;
+  // Keyed by span-name *content*, not pointer identity: the same string
+  // literal can have a distinct address in every translation unit, and a
+  // pointer key would split one logical span into several rows. The
+  // views point into string literals (see SpanScope's contract), so
+  // they outlive the session.
+  std::unordered_map<std::string_view, SpanShard> spans;
+  std::unordered_map<std::string_view, std::uint64_t> counters;
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::vector<std::unique_ptr<ThreadState>> threads;  // Process lifetime.
-  TraceConfig config;
-  bool active = false;
-  std::uint64_t session_begin_ns = 0;
+  Mutex mutex;
+  // Thread states live for the whole process; each entry is written by
+  // its owning thread while a session is active and drained under the
+  // mutex at stop() (the quiescence contract in tracer.h makes the two
+  // phases disjoint). The *vector* itself is what the mutex guards.
+  std::vector<std::unique_ptr<ThreadState>> threads
+      FMTCP_GUARDED_BY(mutex);
+  TraceConfig config FMTCP_GUARDED_BY(mutex);
+  bool active FMTCP_GUARDED_BY(mutex) = false;
+  std::uint64_t session_begin_ns FMTCP_GUARDED_BY(mutex) = 0;
 };
+
+// Session parameters the per-record hot path needs. push_record() runs
+// on arbitrary threads without the registry mutex, so reading
+// reg.config there would be a lock-discipline hole (it was, before the
+// thread-safety annotations flagged it); instead start() snapshots the
+// two fields it needs into these atomics *before* the release store
+// that enables tracing, and the hot path reads them relaxed (the
+// acquire load in tracing_enabled() orders them).
+std::atomic<std::size_t> g_session_ring_capacity{0};
+std::atomic<bool> g_session_capture_records{false};
 
 Registry& registry() {
   static Registry* r = new Registry;  // Leaked: outlives thread_locals.
@@ -100,7 +122,7 @@ thread_local const char* tls_pending_name = nullptr;
 ThreadState& thread_state() {
   if (tls_state == nullptr) {
     Registry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    MutexLock lock(reg.mutex);
     auto state = std::make_unique<ThreadState>();
     state->index = static_cast<std::uint32_t>(reg.threads.size());
     if (tls_pending_name != nullptr) state->name = tls_pending_name;
@@ -111,13 +133,14 @@ ThreadState& thread_state() {
 }
 
 void push_record(ThreadState& state, const SpanRecord& record) {
-  Registry& reg = registry();
-  if (!reg.config.capture_records) return;
-  if (state.ring.size() != reg.config.ring_capacity) {
+  if (!g_session_capture_records.load(std::memory_order_relaxed)) return;
+  const std::size_t ring_capacity =
+      g_session_ring_capacity.load(std::memory_order_relaxed);
+  if (state.ring.size() != ring_capacity) {
     // First record this session (or capacity changed): (re)size lazily
     // so idle threads from past sessions hold no ring memory.
-    state.ring.assign(reg.config.ring_capacity, SpanRecord{});
-    state.ring_capacity = reg.config.ring_capacity;
+    state.ring.assign(ring_capacity, SpanRecord{});
+    state.ring_capacity = ring_capacity;
   }
   const std::uint64_t seq =
       state.ring_seq.load(std::memory_order_relaxed);
@@ -207,10 +230,16 @@ void record_complete(const char* name, std::uint64_t begin_ns,
 
 void start(const TraceConfig& config) {
   detail::Registry& reg = detail::registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   FMTCP_CHECK(!reg.active);
   FMTCP_CHECK(config.ring_capacity > 0);
   reg.config = config;
+  // Hot-path snapshot; must be visible before the enabling store below
+  // (the release/acquire pair on g_tracing_enabled orders it).
+  detail::g_session_ring_capacity.store(config.ring_capacity,
+                                        std::memory_order_relaxed);
+  detail::g_session_capture_records.store(config.capture_records,
+                                          std::memory_order_relaxed);
   for (auto& state : reg.threads) {
     state->session_base_seq =
         state->ring_seq.load(std::memory_order_acquire);
@@ -224,13 +253,13 @@ void start(const TraceConfig& config) {
 
 bool active() {
   detail::Registry& reg = detail::registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   return reg.active;
 }
 
 TraceReport stop() {
   detail::Registry& reg = detail::registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   FMTCP_CHECK(reg.active);
   detail::g_tracing_enabled.store(false, std::memory_order_release);
   reg.active = false;
@@ -240,8 +269,10 @@ TraceReport stop() {
   report.session_end_ns = clock_ns();
   report.captured_records = reg.config.capture_records;
 
-  // Merge shards by span-name *content*: the same literal can have
-  // distinct addresses across translation units.
+  // Per-thread shards already key by name content; the std::map here
+  // merges across threads and fixes the emission order (sorted by name,
+  // so --profile / trace_summary --spans tables are byte-stable for a
+  // given set of span names).
   struct MergedSpan {
     SpanAggregate agg;
     std::vector<std::uint64_t> buckets;
@@ -270,7 +301,7 @@ TraceReport stop() {
                             : state->name);
     }
     for (const auto& [name, shard] : state->spans) {
-      MergedSpan& m = merged[name];
+      MergedSpan& m = merged[std::string(name)];
       m.agg.count += shard.count;
       m.agg.total_ms += static_cast<double>(shard.total_ns) / 1e6;
       m.agg.self_ms += static_cast<double>(shard.self_ns) / 1e6;
@@ -284,7 +315,7 @@ TraceReport stop() {
       }
     }
     for (const auto& [name, value] : state->counters) {
-      counters[name] += value;
+      counters[std::string(name)] += value;
     }
     // Free ring memory until the next session's first record.
     state->ring.clear();
@@ -308,17 +339,15 @@ TraceReport stop() {
     return detail::bucket_value_ns(buckets.size() - 1) / 1e6;
   };
 
+  // The map iterates in name order, so the table comes out sorted by
+  // name with no further sort — deterministic row order independent of
+  // this run's timings.
   for (auto& [name, m] : merged) {
     m.agg.name = name;
     m.agg.p50_ms = percentile(m.buckets, m.agg.count, 0.50);
     m.agg.p99_ms = percentile(m.buckets, m.agg.count, 0.99);
     report.spans.push_back(std::move(m.agg));
   }
-  std::sort(report.spans.begin(), report.spans.end(),
-            [](const SpanAggregate& a, const SpanAggregate& b) {
-              if (a.self_ms != b.self_ms) return a.self_ms > b.self_ms;
-              return a.name < b.name;
-            });
   for (const auto& [name, value] : counters) {
     report.counters.push_back({name, value});
   }

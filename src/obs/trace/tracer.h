@@ -78,7 +78,8 @@ struct TraceReport {
   /// Records lost to ring overflow, summed over threads.
   std::uint64_t dropped_records = 0;
 
-  /// Aggregates sorted by self time, largest first.
+  /// Aggregates sorted by name, so tables render in a byte-stable row
+  /// order regardless of this run's timings.
   std::vector<SpanAggregate> spans;
   /// FMTCP_COUNT totals, sorted by name.
   std::vector<CounterAggregate> counters;
@@ -105,7 +106,7 @@ bool active();
 TraceReport stop();
 
 /// Human-readable aggregate table (the `--profile` / `--spans` output):
-/// one row per span name sorted by self time, then counters.
+/// one row per span name in name order, then counters.
 std::string format_span_table(const TraceReport& report);
 
 }  // namespace fmtcp::obs::trace

@@ -80,8 +80,8 @@ TEST(BlockManager, KTildeWeightsInFlightByLoss) {
   f.manager.on_symbols_sent(0, 0, 4);  // Subflow 0.
   f.manager.on_symbols_sent(0, 1, 10); // Subflow 1.
   block.k_bar = 2;
-  const auto loss_of = [](std::uint32_t f) {
-    return f == 0 ? 0.0 : 0.5;
+  const auto loss_of = [](std::uint32_t subflow) {
+    return subflow == 0 ? 0.0 : 0.5;
   };
   // 2 + 4*(1-0) + 10*(1-0.5) = 11.
   EXPECT_DOUBLE_EQ(f.manager.k_tilde(block, loss_of), 11.0);

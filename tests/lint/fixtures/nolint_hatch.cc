@@ -1,0 +1,33 @@
+// Fixture for the NOLINT-DETERMINISM escape hatch. Scanned, not
+// compiled.
+#include <chrono>
+#include <cstdlib>
+
+// Suppressed on the same line: no finding.
+auto good_same_line() {
+  return std::chrono::steady_clock::now();  // NOLINT-DETERMINISM(diagnostic only)
+}
+
+// Suppressed from the preceding line: no finding.
+auto good_previous_line() {
+  // NOLINT-DETERMINISM(wall time feeds a log message, not a result)
+  return std::chrono::steady_clock::now();
+}
+
+// A reason-less suppression is itself a finding, and does NOT suppress
+// the underlying rule — both fire.
+int bad_bare_nolint() {
+  return std::rand();  // NOLINT-DETERMINISM  EXPECT-LINT(nolint) EXPECT-LINT(rand)
+}
+
+// Empty parens are just as unexplained.
+int bad_empty_reason() {
+  return std::rand();  // NOLINT-DETERMINISM()  EXPECT-LINT(nolint) EXPECT-LINT(rand)
+}
+
+// A suppression two lines up does not reach: the finding still fires.
+int bad_too_far() {
+  // NOLINT-DETERMINISM(this reason is attached to the blank line below)
+
+  return std::rand();  // EXPECT-LINT(rand)
+}

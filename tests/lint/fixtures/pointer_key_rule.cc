@@ -1,0 +1,19 @@
+// Fixture for lint_determinism rule `pointer-key`. Scanned, not
+// compiled.
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+struct SpanShard { int n = 0; };
+
+std::unordered_map<const char*, SpanShard> bad_literal_keys;  // EXPECT-LINT(pointer-key)
+std::map<SpanShard*, int> bad_object_keys;                    // EXPECT-LINT(pointer-key)
+std::set<const void*> bad_identity_set;                       // EXPECT-LINT(pointer-key)
+
+// Clean: value-keyed maps; pointers in the *mapped* position are fine
+// (they are never an iteration order).
+std::unordered_map<std::string_view, SpanShard> good_view_keys;
+std::map<std::string, SpanShard*> good_pointer_values;
+std::set<std::string> good_value_set;

@@ -1,0 +1,23 @@
+// Fixture for lint_determinism rule `rand`. Not compiled — scanned by
+// tools/lint_determinism.py --self-test. Each line that must produce a
+// finding carries an EXPECT-LINT marker naming the rule; every other
+// line must scan clean.
+#include <cstdlib>
+#include <random>
+
+int bad_std_rand() { return std::rand(); }        // EXPECT-LINT(rand)
+void bad_srand() { srand(42); }                   // EXPECT-LINT(rand)
+int bad_device() {
+  std::random_device rd;                          // EXPECT-LINT(rand)
+  return static_cast<int>(rd());
+}
+
+// Clean: the seeded Rng is the sanctioned entropy source.
+struct Rng { explicit Rng(unsigned long seed); unsigned long next(); };
+unsigned long good_seeded(unsigned long seed) { return Rng(seed).next(); }
+
+// Clean: identifiers merely containing the banned names.
+int my_rand_helper();
+int strand_count();
+// Clean: banned token in a comment only: std::rand is stripped.
+const char* good_string = "std::rand inside a string literal";

@@ -1,0 +1,51 @@
+// Fixture for lint_determinism rule `unordered-iter`. Scanned, not
+// compiled.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct State {
+  std::unordered_map<std::string, int> spans;
+  std::unordered_set<int> ids;
+  std::map<std::string, int> ordered;
+  std::vector<int> list;
+};
+
+int bad_member_iteration(const State& state) {
+  int total = 0;
+  for (const auto& [name, value] : state.spans) {  // EXPECT-LINT(unordered-iter)
+    total += value;
+  }
+  return total;
+}
+
+int bad_set_iteration(const State& state) {
+  int total = 0;
+  for (int id : state.ids) total += id;            // EXPECT-LINT(unordered-iter)
+  return total;
+}
+
+int bad_inline_type(std::unordered_map<int, int>& m) {
+  int total = 0;
+  for (auto& kv : static_cast<std::unordered_map<int, int>&>(m)) {  // EXPECT-LINT(unordered-iter)
+    total += kv.second;
+  }
+  return total;
+}
+
+// Clean: ordered containers iterate deterministically.
+int good_ordered(const State& state) {
+  int total = 0;
+  for (const auto& [name, value] : state.ordered) total += value;
+  for (int v : state.list) total += v;
+  return total;
+}
+
+// Clean: lookups into unordered containers are fine; only iteration
+// order is hazardous.
+int good_lookup(const State& state, const std::string& key) {
+  auto it = state.spans.find(key);
+  return it == state.spans.end() ? 0 : it->second;
+}

@@ -1,0 +1,31 @@
+// Fixture for lint_determinism rule `wall-clock`. Scanned, not compiled.
+#include <chrono>
+#include <ctime>
+
+auto bad_steady() {
+  return std::chrono::steady_clock::now();        // EXPECT-LINT(wall-clock)
+}
+auto bad_system() {
+  return std::chrono::system_clock::now();        // EXPECT-LINT(wall-clock)
+}
+auto bad_hires() {
+  return std::chrono::high_resolution_clock::now();  // EXPECT-LINT(wall-clock)
+}
+long bad_time_null() { return time(NULL); }       // EXPECT-LINT(wall-clock)
+long bad_time_empty() { return time(); }          // EXPECT-LINT(wall-clock)
+long bad_std_time() { return std::time(nullptr); }  // EXPECT-LINT(wall-clock)
+long bad_clock() { return std::clock(); }         // EXPECT-LINT(wall-clock)
+void bad_gettimeofday(struct timeval* tv) {
+  gettimeofday(tv, nullptr);                      // EXPECT-LINT(wall-clock)
+}
+void bad_clock_gettime(struct timespec* ts) {
+  clock_gettime(0, ts);                           // EXPECT-LINT(wall-clock)
+}
+
+// Clean: sim time and identifiers that merely end in `time`.
+double run_time(double t);
+double good_sim(double now) { return run_time(now); }
+double schedule_at_time(int step);
+double good_at_time() { return schedule_at_time(3); }
+struct Event { double time; };
+double good_member(const Event& e) { return e.time; }

@@ -16,9 +16,88 @@
 #   regressed more than 20% against the committed BENCH_codec.json
 #   baseline. Skipped by default — wall-clock numbers are only
 #   meaningful on a quiet machine comparable to the baseline's.
+#
+# FMTCP_STATIC=1 tools/check.sh [build-dir]   (default: build-static)
+#   static-analysis mode, three legs (docs/ARCHITECTURE.md "Static
+#   analysis"):
+#     1. determinism lint (tools/lint_determinism.py) — self-test, then
+#        the result-affecting src/ tree must be clean;
+#     2. clang -Werror=thread-safety build over the annotations in
+#        common/thread_annotations.h (FMTCP_THREAD_SAFETY=ON);
+#     3. clang-tidy over the full compile database (.clang-tidy).
+#   Legs 2 and 3 need a clang toolchain; on a machine without one they
+#   SKIP loudly (the lint still gates). CI runs all three.
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
+
+# First available binary from the argument list, tried bare and with the
+# version suffixes recent distros ship (-20 ... -14); empty if none.
+find_tool() {
+  for base in "$@"; do
+    for suffix in "" -20 -19 -18 -17 -16 -15 -14; do
+      if command -v "$base$suffix" > /dev/null 2>&1; then
+        echo "$base$suffix"
+        return 0
+      fi
+    done
+  done
+  return 0
+}
+
+if [ "${FMTCP_STATIC:-0}" = "1" ]; then
+  build="${1:-$repo/build-static}"
+  status=0
+
+  echo "== static leg 1/3: determinism lint =="
+  python3 "$repo/tools/lint_determinism.py" --self-test --root "$repo"
+  python3 "$repo/tools/lint_determinism.py" --root "$repo"
+
+  clangxx="$(find_tool clang++)"
+  echo "== static leg 2/3: clang thread-safety build =="
+  if [ -n "$clangxx" ]; then
+    cmake -B "$build" -S "$repo" -DCMAKE_CXX_COMPILER="$clangxx" \
+      -DFMTCP_THREAD_SAFETY=ON -DFMTCP_WERROR=ON
+    cmake --build "$build" -j "$(nproc)"
+  else
+    echo "SKIP: no clang++ on PATH — -Werror=thread-safety needs clang." >&2
+    status=1
+  fi
+
+  tidy="$(find_tool clang-tidy)"
+  echo "== static leg 3/3: clang-tidy =="
+  if [ -n "$tidy" ]; then
+    # The thread-safety build above exported the compile database; fall
+    # back to a plain configure when leg 2 was skipped.
+    if [ ! -f "$build/compile_commands.json" ]; then
+      cmake -B "$build" -S "$repo"
+    fi
+    runner="$(find_tool run-clang-tidy run-clang-tidy.py)"
+    if [ -n "$runner" ]; then
+      "$runner" -clang-tidy-binary "$tidy" -p "$build" -quiet \
+        "$repo/(src|tests|bench|tools|examples)/"
+    else
+      # No run-clang-tidy wrapper: drive clang-tidy over every TU in the
+      # compile database ourselves.
+      python3 -c "import json,sys;  \
+        [print(e['file']) for e in json.load(open(sys.argv[1]))]" \
+        "$build/compile_commands.json" |
+        xargs -P "$(nproc)" -n 8 "$tidy" -p "$build" -quiet
+    fi
+  else
+    echo "SKIP: no clang-tidy on PATH." >&2
+    status=1
+  fi
+
+  if [ "$status" -ne 0 ]; then
+    echo "check.sh (static): lint clean; clang legs SKIPPED (no clang" \
+      "toolchain here — run on a machine with clang, e.g. the CI" \
+      "static job, for full coverage)"
+  else
+    echo "check.sh (static): all good"
+  fi
+  exit 0
+fi
 
 if [ "${FMTCP_BENCH_GUARD:-0}" = "1" ]; then
   build="${1:-$repo/build}"
@@ -33,7 +112,7 @@ fi
 if [ "${FMTCP_TSAN:-0}" = "1" ]; then
   build="${1:-$repo/build-tsan}"
   cmake -B "$build" -S "$repo" -DFMTCP_SANITIZE=thread \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    -DFMTCP_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$build" -j "$(nproc)"
 
   # The concurrency surface: pool, sweep determinism, uid streams, span
@@ -52,7 +131,7 @@ fi
 build="${1:-$repo/build-asan}"
 
 cmake -B "$build" -S "$repo" -DFMTCP_SANITIZE=address,undefined \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  -DFMTCP_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build" -j "$(nproc)"
 
 (cd "$build" && ctest --output-on-failure -j "$(nproc)")

@@ -1,0 +1,356 @@
+#!/usr/bin/env python3
+"""Determinism lint for result-affecting FMTCP code.
+
+The repo's load-bearing invariant is that every simulation result —
+fig3–7, Table I, and parallel sweeps at any --jobs — is bit-identical
+run to run and thread-count to thread-count. That only holds if the
+result-affecting code draws no entropy from outside the seeded Rng and
+orders nothing by memory address or hash-table layout. This lint bans
+the classic leak sources at review time, before a TSan run or a
+determinism test would have to catch the symptom:
+
+  rand            std::rand / srand / std::random_device — unseeded or
+                  machine-dependent entropy. Use fmtcp::Rng streams.
+  wall-clock      time(), gettimeofday, clock_gettime, std::chrono
+                  clocks — wall time varies per run and per host. The
+                  obs layer (spans, sim-progress profiling) is the one
+                  place allowed to look at a clock.
+  unordered-iter  Iteration over std::unordered_map/set — the visit
+                  order depends on hash seeding, allocation addresses
+                  and load factor, so anything it feeds (output rows,
+                  event ordering, accumulation of floats) can differ
+                  between runs. Iterate a sorted/stable container, or
+                  sort before consuming.
+  pointer-key     std::map/set (or unordered_) keyed on a pointer —
+                  iteration order is address order, i.e. allocator
+                  behaviour; and identical content at distinct
+                  addresses (string literals across TUs) splits rows.
+
+Escape hatch, one finding at a time and only with a reason:
+
+    foo();  // NOLINT-DETERMINISM(wall-clock diagnostics only)
+
+or on the line directly above the flagged one. A bare or empty
+NOLINT-DETERMINISM is itself an error — the acceptance bar is zero
+*unexplained* suppressions.
+
+Scanned: src/** except src/obs/** (the observability plane measures
+wall time by design). bench/, tools/, tests/, examples/ are out of
+scope — they are allowed to time things and print diagnostics.
+
+Usage:
+  tools/lint_determinism.py [--root REPO] [paths...]
+  tools/lint_determinism.py --self-test        # run against fixtures
+  tools/lint_determinism.py --list-rules
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+# Directories scanned relative to the repo root, and subtrees excluded
+# from them. src/obs is the deliberate allowlist: the trace plane and
+# event-loop profiling exist to measure wall time.
+SCAN_DIRS = ("src",)
+ALLOWLIST = ("src/obs",)
+EXTENSIONS = (".h", ".cc")
+
+NOLINT_RE = re.compile(r"//\s*NOLINT-DETERMINISM\s*(?:\(([^)]*)\))?")
+
+
+@dataclass(frozen=True)
+class Rule:
+    name: str
+    pattern: re.Pattern
+    message: str
+
+
+RULES = (
+    Rule(
+        "rand",
+        re.compile(
+            r"\bstd::rand\b|(?<![\w:])srand\s*\(|\brandom_device\b"
+        ),
+        "unseeded/machine entropy; draw from a seeded fmtcp::Rng stream",
+    ),
+    Rule(
+        "wall-clock",
+        re.compile(
+            r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+            r"|(?<![\w:])gettimeofday\s*\("
+            r"|(?<![\w:])clock_gettime\s*\("
+            r"|\bstd::time\b|\bstd::clock\b"
+            r"|(?<![\w.:>])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+        ),
+        "wall clock in result-affecting code; sim time comes from the "
+        "scheduler, profiling belongs in src/obs",
+    ),
+    Rule(
+        "unordered-iter",
+        # Filled in dynamically per file: range-for over an expression
+        # mentioning unordered_, or over an identifier declared as an
+        # unordered container earlier in the same file.
+        re.compile(r"for\s*\([^;)]*:\s*[^)]*unordered_"),
+        "iterating an unordered container; hash-layout order can feed "
+        "output or event ordering — use a sorted container or sort first",
+    ),
+    Rule(
+        "pointer-key",
+        re.compile(
+            r"(?:unordered_)?map\s*<\s*(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?"
+            r"\s*\*\s*(?:const\s*)?,"
+            r"|(?:unordered_)?set\s*<\s*(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?"
+            r"\s*\*\s*(?:const\s*)?>"
+        ),
+        "pointer-keyed map/set; iteration order is address order and "
+        "equal content at distinct addresses splits keys — key by value "
+        "(string_view/id) instead",
+    ),
+)
+
+# Declarations like `std::unordered_map<K, V> name;` / `...> name =` —
+# collected per file so `for (x : name)` trips unordered-iter even when
+# the type is not spelled in the loop.
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s*&?\s*"
+    r"(\w+)\s*(?:[;={(]|$)"
+)
+RANGE_FOR_RE = re.compile(r"for\s*\([^;()]*[&\s]:\s*(.+)\)\s*\{?")
+IDENT_RE = re.compile(r"(\w+)\s*$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Drops // comments and the bodies of "..." literals, so banned
+    tokens in prose or log strings do not trip rules. Char literals are
+    skipped so '"' cannot open a phantom string. (Block comments are
+    rare in this codebase and not handled; a stray token inside one can
+    be NOLINT'd.)"""
+    out = []
+    i, n = 0, len(line)
+    in_string = False
+    while i < n:
+        c = line[i]
+        if in_string:
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                in_string = False
+                out.append(c)
+            i += 1
+            continue
+        if c == "'":
+            # Char literal: skip to its closing quote ('\'' included).
+            j = i + 1
+            while j < n and line[j] != "'":
+                j += 2 if line[j] == "\\" else 1
+            i = j + 1
+            continue
+        if c == '"':
+            in_string = True
+            out.append(c)
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def scan_lines(path: str, lines: list[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    unordered_names: set[str] = set()
+    # NOLINT on line N suppresses findings on N and N+1.
+    suppressed: dict[int, str] = {}
+    for number, raw in enumerate(lines, start=1):
+        m = NOLINT_RE.search(raw)
+        if m:
+            reason = (m.group(1) or "").strip()
+            if not reason:
+                findings.append(
+                    Finding(
+                        path,
+                        number,
+                        "nolint",
+                        "NOLINT-DETERMINISM without a reason; write "
+                        "NOLINT-DETERMINISM(<why this is safe>)",
+                    )
+                )
+            else:
+                suppressed[number] = reason
+                suppressed[number + 1] = reason
+
+    for number, raw in enumerate(lines, start=1):
+        code = strip_comments_and_strings(raw)
+        decl = UNORDERED_DECL_RE.search(code)
+        if decl:
+            unordered_names.add(decl.group(1))
+
+        hits: list[Rule] = []
+        for rule in RULES:
+            if rule.name == "unordered-iter":
+                continue  # handled below
+            if rule.pattern.search(code):
+                hits.append(rule)
+
+        iter_rule = RULES[2]
+        range_for = RANGE_FOR_RE.search(code)
+        if range_for:
+            expr = range_for.group(1).strip()
+            ident = IDENT_RE.search(
+                expr.split(".")[-1].split("->")[-1].replace("()", "")
+            )
+            if "unordered_" in expr or (
+                ident and ident.group(1) in unordered_names
+            ):
+                hits.append(iter_rule)
+
+        for rule in hits:
+            if number in suppressed:
+                continue
+            findings.append(Finding(path, number, rule.name, rule.message))
+    return findings
+
+
+def scan_file(path: str, display: str | None = None) -> list[Finding]:
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        lines = fh.read().splitlines()
+    return scan_lines(display or path, lines)
+
+
+def iter_scan_files(root: str):
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(root, scan_dir)
+        for dirpath, dirnames, filenames in os.walk(base):
+            rel_dir = os.path.relpath(dirpath, root)
+            if any(
+                rel_dir == a or rel_dir.startswith(a + os.sep)
+                for a in ALLOWLIST
+            ):
+                dirnames[:] = []
+                continue
+            for name in sorted(filenames):
+                if name.endswith(EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def run_self_test(fixtures_dir: str) -> int:
+    """Each fixture line expecting a finding carries an
+    `EXPECT-LINT(rule)` marker (inside a comment, so it never alters
+    what the rules see in code). The fixture passes when the found
+    (line, rule) set equals the expected set."""
+    expect_re = re.compile(r"EXPECT-LINT\(([\w-]+)\)")
+    fixtures = sorted(
+        f
+        for f in os.listdir(fixtures_dir)
+        if f.endswith(EXTENSIONS)
+    )
+    if not fixtures:
+        print(f"self-test: no fixtures under {fixtures_dir}", file=sys.stderr)
+        return 2
+    failures = 0
+    for fixture in fixtures:
+        path = os.path.join(fixtures_dir, fixture)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        expected = set()
+        for number, line in enumerate(lines, start=1):
+            for m in expect_re.finditer(line):
+                expected.add((number, m.group(1)))
+        found = {
+            (f.line, f.rule) for f in scan_lines(fixture, lines)
+        }
+        if found != expected:
+            failures += 1
+            print(f"self-test FAIL: {fixture}", file=sys.stderr)
+            for line, rule in sorted(expected - found):
+                print(f"  missing: line {line} [{rule}]", file=sys.stderr)
+            for line, rule in sorted(found - expected):
+                print(f"  spurious: line {line} [{rule}]", file=sys.stderr)
+    total = len(fixtures)
+    if failures:
+        print(f"self-test: {failures}/{total} fixtures failed",
+              file=sys.stderr)
+        return 1
+    print(f"self-test: {total} fixtures ok")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Determinism lint for result-affecting FMTCP code"
+    )
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repo root (default: the checkout containing this script)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the rule fixtures under tests/lint/fixtures",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rules and exit"
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="explicit files to scan instead of the default tree "
+        "(allowlist not applied)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.name}: {rule.message}")
+        return 0
+
+    if args.self_test:
+        fixtures = os.path.join(args.root, "tests", "lint", "fixtures")
+        return run_self_test(fixtures)
+
+    findings: list[Finding] = []
+    if args.paths:
+        for path in args.paths:
+            findings.extend(scan_file(path))
+        scanned = len(args.paths)
+    else:
+        scanned = 0
+        for path in iter_scan_files(args.root):
+            display = os.path.relpath(path, args.root)
+            findings.extend(scan_file(path, display))
+            scanned += 1
+
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"lint_determinism: {len(findings)} finding(s) in "
+            f"{scanned} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_determinism: {scanned} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
