@@ -6,13 +6,20 @@
 //  - --json=FILE / --guard=FILE: a self-contained decode-throughput
 //    harness (MB/s of recovered source data and symbols/s) across
 //    k ∈ {16, 32, 64, 128}, systematic-heavy vs dense-coded streams, and
-//    eager-equivalent vs lazy decoding. --json writes the numbers (the
-//    committed BENCH_codec.json baseline at the repo root, produced by
-//    tools/bench.sh); --guard re-runs the harness and fails if any case
-//    regressed more than --max-regression (default 0.20) against the
-//    baseline file (tools/check.sh FMTCP_BENCH_GUARD=1).
+//    eager-equivalent vs lazy decoding; plus new-decoder-only cases at
+//    k ∈ {256, 512} (dense), a batch-decode case (shared scratch across
+//    blocks), and an MTU-sized 1400-byte-symbol case. --json writes the
+//    numbers (the committed BENCH_codec.json baseline at the repo root,
+//    produced by tools/bench.sh); --guard re-runs the harness and fails
+//    if any case regressed more than --max-regression (default 0.20)
+//    against the baseline file (tools/check.sh FMTCP_BENCH_GUARD=1).
+//    The JSON records the active GF(2) kernel and CPU features; a guard
+//    run whose active kernel differs from the baseline's skips (exit 0)
+//    rather than compare across unlike machines.
+//  - --symbol-bytes=N changes the harness's default symbol size (160).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstdio>
@@ -24,8 +31,10 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/cpu_features.h"
 #include "common/rng.h"
 #include "fountain/decoder.h"
+#include "fountain/gf2_kernels.h"
 #include "fountain/lt_codec.h"
 #include "fountain/random_linear.h"
 
@@ -84,7 +93,9 @@ void BM_DecodeBlock(benchmark::State& state) {
 BENCHMARK(BM_DecodeBlock)
     ->Args({16, 160})
     ->Args({64, 160})
-    ->Args({128, 160});
+    ->Args({128, 160})
+    ->Args({256, 160})
+    ->Args({512, 160});
 
 void BM_RankOnlyDecode(benchmark::State& state) {
   const auto k = static_cast<std::uint32_t>(state.range(0));
@@ -141,9 +152,12 @@ BENCHMARK(BM_CoefficientsFromSeed)->Arg(64)->Arg(256);
 // Decode-throughput harness (--json / --guard modes)
 // --------------------------------------------------------------------------
 
-constexpr std::size_t kSymbolBytes = 160;
+std::size_t g_symbol_bytes = 160;  ///< --symbol-bytes=N overrides.
+constexpr std::size_t kMtuSymbolBytes = 1400;
 constexpr std::uint32_t kKs[] = {16, 32, 64, 128};
+constexpr std::uint32_t kLargeKs[] = {256, 512};  ///< New decoder only.
 constexpr int kStreamsPerCase = 16;
+constexpr int kBatchBlocks = 8;
 constexpr double kMinSeconds = 0.25;
 
 /// The pre-overhaul decoder, faithfully reproducing the seed
@@ -161,7 +175,8 @@ class EagerReferenceDecoder {
         pivot_rows_(symbols) {}
 
   bool add_symbol(const net::EncodedSymbol& symbol) {
-    std::vector<std::uint8_t> data = symbol.data;  // Seed: full copy first.
+    // Seed: full copy first (into plain heap storage).
+    std::vector<std::uint8_t> data(symbol.data.begin(), symbol.data.end());
     RefBitVector coeffs(symbols_);
     if (symbol.is_systematic()) {
       coeffs.set(symbol.systematic_index);
@@ -282,14 +297,15 @@ class EagerReferenceDecoder {
 /// Dense: non-systematic random linear symbols. Systematic-heavy: a
 /// systematic encoder's output thinned by 12% i.i.d. loss (so most
 /// symbols are plain source symbols plus a few coded repairs).
-std::vector<net::EncodedSymbol> make_stream(std::uint32_t k, bool dense,
-                                            std::uint64_t seed) {
+std::vector<net::EncodedSymbol> make_stream(std::uint32_t k,
+                                            std::size_t symbol_bytes,
+                                            bool dense, std::uint64_t seed) {
   Rng loss_rng(seed * 977 + 11);
   RandomLinearEncoder encoder(seed, make_deterministic_block(seed, k,
-                                                             kSymbolBytes),
+                                                             symbol_bytes),
                               Rng(seed * 31 + 7), /*systematic=*/!dense);
   std::vector<net::EncodedSymbol> stream;
-  BlockDecoder probe(k, kSymbolBytes, /*track_data=*/false);
+  BlockDecoder probe(k, symbol_bytes, /*track_data=*/false);
   while (!probe.complete()) {
     net::EncodedSymbol s = encoder.next_symbol();
     if (!dense && loss_rng.bernoulli(0.12)) continue;  // Lost in transit.
@@ -299,14 +315,33 @@ std::vector<net::EncodedSymbol> make_stream(std::uint32_t k, bool dense,
   return stream;
 }
 
+std::vector<std::vector<net::EncodedSymbol>> make_streams(
+    std::uint32_t k, std::size_t symbol_bytes, bool dense) {
+  std::vector<std::vector<net::EncodedSymbol>> streams;
+  for (int s = 0; s < kStreamsPerCase; ++s) {
+    streams.push_back(make_stream(k, symbol_bytes, dense,
+                                  static_cast<std::uint64_t>(s) + 1));
+  }
+  return streams;
+}
+
 struct CaseResult {
   std::string name;
   double mbytes_per_sec = 0.0;
   double symbols_per_sec = 0.0;
 };
 
+/// Shared payload recycler, like the simulator's per-run pool: decoders
+/// release decoded blocks' symbol buffers here and the next block's
+/// copies re-acquire them.
+BufferPool& bench_pool() {
+  static BufferPool p;
+  return p;
+}
+
 template <typename Decoder>
 CaseResult run_case(const std::string& name, std::uint32_t k,
+                    std::size_t symbol_bytes,
                     const std::vector<std::vector<net::EncodedSymbol>>&
                         streams) {
   // Warm-up + timed loop: decode whole blocks round-robin over the
@@ -319,7 +354,7 @@ CaseResult run_case(const std::string& name, std::uint32_t k,
   do {
     const auto& stream = streams[next];
     next = (next + 1) % streams.size();
-    Decoder decoder(k, kSymbolBytes);
+    Decoder decoder(k, symbol_bytes);
     for (const auto& symbol : stream) {
       decoder.add_symbol(symbol);
       ++symbols_fed;
@@ -334,7 +369,54 @@ CaseResult run_case(const std::string& name, std::uint32_t k,
 
   CaseResult result;
   result.name = name;
-  result.mbytes_per_sec = static_cast<double>(blocks) * k * kSymbolBytes /
+  result.mbytes_per_sec = static_cast<double>(blocks) * k * symbol_bytes /
+                          elapsed / 1e6;
+  result.symbols_per_sec = static_cast<double>(symbols_fed) / elapsed;
+  return result;
+}
+
+/// Batch decode: feed kBatchBlocks decoders to completion, then decode
+/// them all through decode_batch() with one shared scratch — the
+/// receiver-side shape where table storage amortises across blocks.
+CaseResult run_batch_case(const std::string& name, std::uint32_t k,
+                          std::size_t symbol_bytes,
+                          const std::vector<std::vector<net::EncodedSymbol>>&
+                              streams) {
+  DecodeScratch scratch;
+  std::uint64_t blocks = 0;
+  std::uint64_t symbols_fed = 0;
+  std::size_t next = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    std::vector<BlockDecoder> decoders;
+    decoders.reserve(kBatchBlocks);
+    std::vector<BlockDecoder*> ptrs;
+    for (int b = 0; b < kBatchBlocks; ++b) {
+      decoders.emplace_back(k, symbol_bytes, /*track_data=*/true,
+                            &bench_pool());
+      const auto& stream = streams[next];
+      next = (next + 1) % streams.size();
+      for (const auto& symbol : stream) {
+        if (decoders.back().complete()) break;
+        decoders.back().add_symbol(symbol);
+        ++symbols_fed;
+      }
+      FMTCP_CHECK(decoders.back().complete());
+      ptrs.push_back(&decoders.back());
+    }
+    const std::size_t decoded =
+        decode_batch(ptrs.data(), ptrs.size(), scratch);
+    FMTCP_CHECK(decoded == ptrs.size());
+    blocks += decoded;
+    elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  } while (elapsed < kMinSeconds);
+
+  CaseResult result;
+  result.name = name;
+  result.mbytes_per_sec = static_cast<double>(blocks) * k * symbol_bytes /
                           elapsed / 1e6;
   result.symbols_per_sec = static_cast<double>(symbols_fed) / elapsed;
   return result;
@@ -344,12 +426,17 @@ CaseResult run_case(const std::string& name, std::uint32_t k,
 /// and decode() shape for run_case.
 struct LazyAdapter {
   LazyAdapter(std::uint32_t k, std::size_t bytes)
-      : decoder(k, bytes, /*track_data=*/true) {}
+      : decoder(k, bytes, /*track_data=*/true, &bench_pool()) {}
   void add_symbol(const net::EncodedSymbol& s) {
     if (!decoder.complete()) decoder.add_symbol(s);
   }
   bool complete() const { return decoder.complete(); }
-  const BlockData& decode() { return decoder.decode(); }
+  const BlockData& decode() { return decoder.decode(scratch()); }
+  /// Shared across blocks, like the receiver's per-connection scratch.
+  static DecodeScratch& scratch() {
+    static DecodeScratch s;
+    return s;
+  }
   BlockDecoder decoder;
 };
 
@@ -363,29 +450,37 @@ struct EagerAdapter {
   EagerReferenceDecoder decoder;
 };
 
+/// Best-of-N repetitions of `fn`, so a background burst on this
+/// (single-core) box degrades one repetition, not the result.
+template <typename Fn>
+CaseResult best_of(int reps, Fn&& fn) {
+  CaseResult best;
+  for (int rep = 0; rep < reps; ++rep) {
+    const CaseResult r = fn();
+    if (r.mbytes_per_sec > best.mbytes_per_sec) best = r;
+    best.name = r.name;
+  }
+  return best;
+}
+
 std::vector<CaseResult> run_harness() {
   std::vector<CaseResult> results;
   for (std::uint32_t k : kKs) {
     for (bool dense : {false, true}) {
-      std::vector<std::vector<net::EncodedSymbol>> streams;
-      for (int s = 0; s < kStreamsPerCase; ++s) {
-        streams.push_back(
-            make_stream(k, dense, static_cast<std::uint64_t>(s) + 1));
-      }
+      const auto streams = make_streams(k, g_symbol_bytes, dense);
       const std::string suffix =
           std::string(dense ? "dense" : "systematic") + "_k" +
           std::to_string(k);
       std::printf("  %-20s", suffix.c_str());
-      // Best-of-5, alternating decoders, so a background burst on this
-      // (single-core) box degrades one repetition, not one decoder.
+      // Alternate decoders across repetitions (see best_of).
       CaseResult eager;
       CaseResult lazy;
       for (int rep = 0; rep < 5; ++rep) {
-        const CaseResult e =
-            run_case<EagerAdapter>("eager_" + suffix, k, streams);
+        const CaseResult e = run_case<EagerAdapter>(
+            "eager_" + suffix, k, g_symbol_bytes, streams);
         if (e.mbytes_per_sec > eager.mbytes_per_sec) eager = e;
-        const CaseResult l =
-            run_case<LazyAdapter>("lazy_" + suffix, k, streams);
+        const CaseResult l = run_case<LazyAdapter>(
+            "lazy_" + suffix, k, g_symbol_bytes, streams);
         if (l.mbytes_per_sec > lazy.mbytes_per_sec) lazy = l;
       }
       std::printf(" eager %8.1f MB/s   lazy %8.1f MB/s   (%.2fx)\n",
@@ -395,6 +490,50 @@ std::vector<CaseResult> run_harness() {
       results.push_back(lazy);
     }
   }
+
+  // Large-k̂ dense cases, new decoder only (the eager reference is
+  // quadratic in payload work and would dominate harness runtime).
+  for (std::uint32_t k : kLargeKs) {
+    const auto streams = make_streams(k, g_symbol_bytes, /*dense=*/true);
+    const std::string name = "lazy_dense_k" + std::to_string(k);
+    const CaseResult r = best_of(5, [&] {
+      return run_case<LazyAdapter>(name, k, g_symbol_bytes, streams);
+    });
+    std::printf("  %-20s                     lazy %8.1f MB/s\n",
+                name.c_str() + 5, r.mbytes_per_sec);
+    results.push_back(r);
+  }
+
+  // Batch decode across blocks, shared scratch.
+  {
+    const std::uint32_t k = 128;
+    const auto streams = make_streams(k, g_symbol_bytes, /*dense=*/true);
+    const CaseResult r = best_of(5, [&] {
+      return run_batch_case("batch_dense_k128", k, g_symbol_bytes, streams);
+    });
+    std::printf("  %-20s                     lazy %8.1f MB/s\n",
+                "batch_dense_k128", r.mbytes_per_sec);
+    results.push_back(r);
+  }
+
+  // MTU-sized symbols: payload kernels dominate at 1400 bytes/symbol.
+  {
+    const std::uint32_t k = 128;
+    const auto streams = make_streams(k, kMtuSymbolBytes, /*dense=*/true);
+    const CaseResult r = best_of(5, [&] {
+      return run_case<LazyAdapter>("lazy_dense_k128_sb1400", k,
+                                   kMtuSymbolBytes, streams);
+    });
+    std::printf("  %-20s                     lazy %8.1f MB/s\n",
+                "dense_k128_sb1400", r.mbytes_per_sec);
+    results.push_back(r);
+  }
+
+  // Deterministic JSON: case keys sorted by name.
+  std::sort(results.begin(), results.end(),
+            [](const CaseResult& a, const CaseResult& b) {
+              return a.name < b.name;
+            });
   return results;
 }
 
@@ -402,8 +541,8 @@ std::vector<CaseResult> run_harness() {
 /// the JSON can record it.
 std::uint64_t rank_only_payload_bytes() {
   const std::uint32_t k = 64;
-  const auto stream = make_stream(k, /*dense=*/true, 42);
-  BlockDecoder decoder(k, kSymbolBytes, /*track_data=*/false);
+  const auto stream = make_stream(k, g_symbol_bytes, /*dense=*/true, 42);
+  BlockDecoder decoder(k, g_symbol_bytes, /*track_data=*/false);
   for (const auto& symbol : stream) decoder.add_symbol(symbol);
   FMTCP_CHECK(decoder.complete());
   FMTCP_CHECK(decoder.payload_bytes_xored() == 0);
@@ -420,6 +559,18 @@ std::optional<double> baseline_field(const std::string& json,
   const std::size_t field = json.find(field_key, at);
   if (field == std::string::npos) return std::nullopt;
   return std::strtod(json.c_str() + field + field_key.size(), nullptr);
+}
+
+/// Finds a top-level `"key": "value"` string field.
+std::optional<std::string> baseline_string(const std::string& json,
+                                           const std::string& key) {
+  const std::string field_key = "\"" + key + "\": \"";
+  const std::size_t at = json.find(field_key);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t begin = at + field_key.size();
+  const std::size_t end = json.find('"', begin);
+  if (end == std::string::npos) return std::nullopt;
+  return json.substr(begin, end - begin);
 }
 
 std::string read_file(const std::string& path) {
@@ -456,9 +607,12 @@ void write_json(const std::string& path, std::vector<CaseResult> results,
   std::fprintf(file,
                "{\n"
                "  \"symbol_bytes\": %zu,\n"
+               "  \"kernel\": \"%s\",\n"
+               "  \"cpu_features\": \"%s\",\n"
                "  \"rank_only_payload_bytes_xored\": %llu,\n"
                "  \"cases\": {\n",
-               kSymbolBytes,
+               g_symbol_bytes, gf2_kernel().name,
+               cpu_features_string().c_str(),
                static_cast<unsigned long long>(rank_only_payload_bytes()));
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CaseResult& r = results[i];
@@ -479,6 +633,20 @@ int run_guard(const std::string& baseline_path, double max_regression) {
     std::fprintf(stderr, "guard: cannot read baseline %s\n",
                  baseline_path.c_str());
     return 1;
+  }
+
+  // Like-with-like: numbers recorded under one kernel are not comparable
+  // to a run dispatched to another (different machine, FMTCP_FORCE_KERNEL,
+  // or an -DFMTCP_SIMD=OFF build). Skip cleanly instead of flagging a
+  // phantom regression.
+  const std::optional<std::string> base_kernel =
+      baseline_string(json, "kernel");
+  if (base_kernel.has_value() && *base_kernel != gf2_kernel().name) {
+    std::printf(
+        "guard: baseline kernel \"%s\" != active kernel \"%s\"; "
+        "skipping (not comparable)\n",
+        base_kernel->c_str(), gf2_kernel().name);
+    return 0;
   }
 
   const std::vector<CaseResult> results = run_harness();
@@ -524,6 +692,12 @@ std::optional<std::string> flag_value(int argc, char** argv,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::optional<std::string> symbol_bytes =
+      flag_value(argc, argv, "symbol-bytes");
+  if (symbol_bytes.has_value()) {
+    g_symbol_bytes = static_cast<std::size_t>(std::stoul(*symbol_bytes));
+    FMTCP_CHECK(g_symbol_bytes > 0);
+  }
   const std::optional<std::string> json_path =
       flag_value(argc, argv, "json");
   const std::optional<std::string> guard_path =
@@ -540,7 +714,9 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--merge-min") == 0) merge_min = true;
     }
-    std::printf("decode throughput (%zu-byte symbols):\n", kSymbolBytes);
+    std::printf("decode throughput (%zu-byte symbols, %s kernel, cpu %s):\n",
+                g_symbol_bytes, fmtcp::fountain::gf2_kernel().name,
+                fmtcp::cpu_features_string().c_str());
     write_json(*json_path, run_harness(), merge_min);
     return 0;
   }

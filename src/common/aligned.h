@@ -1,0 +1,78 @@
+// Cache-line-aligned storage for hot-path byte buffers.
+//
+// The GF(2) SIMD kernels (fountain/gf2_kernels.h) use unaligned-tolerant
+// loads, so alignment is never a correctness requirement — but 64-byte
+// alignment keeps the wide loads on the fast path and every payload on
+// its own cache line. The BufferPool, symbol payloads, decoder row
+// arenas, and M4R scratch tables all allocate through AlignedAllocator
+// so the common case is aligned end to end (the "alignment contract",
+// docs/ARCHITECTURE.md §9).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace fmtcp {
+
+/// Alignment of every pooled payload buffer and kernel scratch area.
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// Minimal C++17 allocator handing out `Alignment`-aligned blocks.
+/// Stateless: all instances compare equal, so containers move/swap
+/// storage freely (buffer recycling relies on this).
+template <typename T, std::size_t Alignment = kBufferAlignment>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T));
+  static_assert((Alignment & (Alignment - 1)) == 0, "power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// Payload buffer type: what the BufferPool recycles and what symbol
+/// payloads travel in, sender to receiver. Moves preserve the
+/// allocation, so alignment established at acquire() survives the whole
+/// packet path.
+using AlignedBytes =
+    std::vector<std::uint8_t, AlignedAllocator<std::uint8_t>>;
+
+/// 64-bit word storage with the same alignment (decoder row arenas).
+using AlignedWords =
+    std::vector<std::uint64_t, AlignedAllocator<std::uint64_t>>;
+
+/// True if `p` meets the buffer alignment contract.
+inline bool is_buffer_aligned(const void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) %
+          kBufferAlignment) == 0;
+}
+
+}  // namespace fmtcp

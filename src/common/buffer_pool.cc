@@ -6,25 +6,32 @@
 
 namespace fmtcp {
 
-std::vector<std::uint8_t> BufferPool::acquire(std::size_t size) {
+AlignedBytes BufferPool::acquire(std::size_t size) {
   ++acquired_;
   if (++outstanding_ > high_water_) high_water_ = outstanding_;
   FMTCP_COUNT("bufferpool.acquire", 1);
   if (!free_.empty()) {
-    std::vector<std::uint8_t> buffer = std::move(free_.back());
+    AlignedBytes buffer = std::move(free_.back());
     free_.pop_back();
     ++reused_;
     buffer.resize(size);
+    if (buffer.empty() || is_buffer_aligned(buffer.data())) {
+      ++aligned_handouts_;
+    }
     return buffer;
   }
   // The miss path is the one worth a span: free-list hits are a move,
   // misses are a fresh heap allocation (and, under --jobs N, the place
   // allocator contention would show up).
   FMTCP_SPAN_ARG("bufferpool.alloc", size);
-  return std::vector<std::uint8_t>(size);
+  AlignedBytes buffer(size);
+  if (buffer.empty() || is_buffer_aligned(buffer.data())) {
+    ++aligned_handouts_;
+  }
+  return buffer;
 }
 
-void BufferPool::release(std::vector<std::uint8_t>&& buffer) {
+void BufferPool::release(AlignedBytes&& buffer) {
   if (buffer.empty()) return;
   ++released_;
   --outstanding_;

@@ -1,7 +1,15 @@
 // Free-list recycler for byte buffers (packet / fountain-symbol
 // payloads). One pool per Simulator: the decoder releases symbol rows it
 // no longer needs and the encoder re-acquires them, so steady-state
-// simulation stops allocating fresh std::vector storage per symbol.
+// simulation stops allocating fresh vector storage per symbol.
+//
+// Buffers are AlignedBytes: every allocation the pool ever hands out is
+// 64-byte aligned (common/aligned.h), which keeps the SIMD GF(2) kernels
+// on their wide-load fast path for the whole sender→packet→receiver→
+// decoder journey — moves preserve the allocation, so alignment
+// established here survives the packet path. stats().aligned_handouts
+// counts acquire() calls whose data() met the contract (it equals
+// acquired; the assertion is stats()-visible rather than a crash).
 //
 // Not thread-safe by design — a pool belongs to exactly one simulation,
 // and parallel sweeps give every cell its own Simulator (and pool).
@@ -10,6 +18,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "common/aligned.h"
 
 namespace fmtcp {
 
@@ -21,11 +31,11 @@ class BufferPool {
 
   /// Returns a buffer with size() == `size` and unspecified contents
   /// (callers overwrite or zero it). Reuses a released buffer when one
-  /// is available.
-  std::vector<std::uint8_t> acquire(std::size_t size);
+  /// is available. data() is 64-byte aligned (kBufferAlignment).
+  AlignedBytes acquire(std::size_t size);
 
   /// Hands a buffer back for reuse. Empty buffers are ignored.
-  void release(std::vector<std::uint8_t>&& buffer);
+  void release(AlignedBytes&& buffer);
 
   // --- Diagnostics ---
 
@@ -37,6 +47,10 @@ class BufferPool {
     std::uint64_t allocated = 0;  ///< ... that had to allocate (misses).
     std::uint64_t released = 0;   ///< release() calls (non-empty).
     std::uint64_t dropped = 0;    ///< Releases freed over max_free.
+    /// acquire() calls whose buffer met the 64-byte alignment contract.
+    /// Always == acquired (AlignedAllocator guarantees it); exported so
+    /// a regression is visible in bufferpool.* gauges, not just a crash.
+    std::uint64_t aligned_handouts = 0;
     /// Buffers out with callers right now (acquired minus released;
     /// buffers destroyed instead of released stay counted).
     std::int64_t outstanding = 0;
@@ -50,6 +64,7 @@ class BufferPool {
     s.allocated = acquired_ - reused_;
     s.released = released_;
     s.dropped = dropped_;
+    s.aligned_handouts = aligned_handouts_;
     s.outstanding = outstanding_;
     s.high_water = high_water_;
     s.free = free_.size();
@@ -63,11 +78,12 @@ class BufferPool {
 
  private:
   std::size_t max_free_;
-  std::vector<std::vector<std::uint8_t>> free_;
+  std::vector<AlignedBytes> free_;
   std::uint64_t acquired_ = 0;
   std::uint64_t reused_ = 0;
   std::uint64_t released_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t aligned_handouts_ = 0;
   std::int64_t outstanding_ = 0;
   std::int64_t high_water_ = 0;
 };

@@ -84,10 +84,10 @@ void FmtcpReceiver::on_segment(std::uint32_t subflow, net::Packet& p) {
     }
     if (decoder.complete()) {
       if (sink_ != nullptr) {
-        decoded_data_.emplace(symbol.block, decoder.decode());
+        decoded_data_.emplace(symbol.block, decoder.decode(decode_scratch_));
       } else if (params_.carry_payload) {
         // No application sink: verify against the deterministic source.
-        const fountain::BlockData& decoded = decoder.decode();
+        const fountain::BlockData& decoded = decoder.decode(decode_scratch_);
         const fountain::BlockData expected =
             fountain::make_deterministic_block(
                 symbol.block, symbol.block_symbols, params_.symbol_bytes);

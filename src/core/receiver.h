@@ -94,6 +94,9 @@ class FmtcpReceiver final : public tcp::DataSink {
   /// Shared by every decoder of this receiver (fountain.* counters;
   /// null-safe handles when no observer is attached).
   fountain::CodingMetrics coding_metrics_;
+  /// Shared decode() workspace: solve/M4R table storage amortises across
+  /// every block this receiver decodes.
+  fountain::DecodeScratch decode_scratch_;
 };
 
 }  // namespace fmtcp::core

@@ -22,9 +22,9 @@ const std::uint8_t* BlockData::symbol(std::uint32_t i) const {
   return bytes_.data() + static_cast<std::size_t>(i) * symbol_bytes_;
 }
 
-std::vector<std::uint8_t> BlockData::symbol_copy(std::uint32_t i) const {
+AlignedBytes BlockData::symbol_copy(std::uint32_t i) const {
   const std::uint8_t* p = symbol(i);
-  return std::vector<std::uint8_t>(p, p + symbol_bytes_);
+  return AlignedBytes(p, p + symbol_bytes_);
 }
 
 BlockData make_deterministic_block(std::uint64_t block_id,

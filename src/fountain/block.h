@@ -8,8 +8,8 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "common/aligned.h"
 #include "common/rng.h"
 
 namespace fmtcp::fountain {
@@ -27,16 +27,19 @@ class BlockData {
   std::uint8_t* symbol(std::uint32_t i);
   const std::uint8_t* symbol(std::uint32_t i) const;
 
-  /// Copies symbol i out as a vector.
-  std::vector<std::uint8_t> symbol_copy(std::uint32_t i) const;
+  /// Copies symbol i out as a (64-byte-aligned) vector.
+  AlignedBytes symbol_copy(std::uint32_t i) const;
 
-  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
-  std::vector<std::uint8_t>& bytes() { return bytes_; }
+  const AlignedBytes& bytes() const { return bytes_; }
+  AlignedBytes& bytes() { return bytes_; }
 
  private:
   std::uint32_t symbols_;
   std::size_t symbol_bytes_;
-  std::vector<std::uint8_t> bytes_;
+  /// 64-byte aligned so decode() output rows start the kernels on the
+  /// wide fast path. Symbol stride stays symbol_bytes_ — the byte
+  /// layout is unchanged; only the base pointer gains alignment.
+  AlignedBytes bytes_;
 };
 
 /// Deterministic pseudo-random block content derived from `block_id`.

@@ -15,12 +15,32 @@
 // materialised as one sparse combination of raw payloads, applied once.
 // Rank-only mode (track_data = false) therefore touches zero payload
 // bytes by construction.
+//
+// Storage is a flat fused row arena: pivot row p is one record of
+// `stride_words` 64-bit words at rows_[p * stride_words] — coefficient
+// half first, composition half immediately after — so one fused
+// kernel XOR (gf2_kernels.h reduce_row) eliminates both halves per step
+// with no per-row allocation and no per-step function-call overhead.
+//
+// decode() picks among three equivalent strategies (the decoded block is
+// the unique GF(2) solution, so all produce byte-identical output; the
+// choice depends only on the symbol stream, never on the machine):
+//   - k̂ ≤ 64 register path: whole rows in two registers.
+//   - plain elimination: blocked (8-column) method-of-four-Russians
+//     triangular solve on the symbolic rows, then payload composition
+//     via direct sparse XOR or adaptive 4/8-bit group tables.
+//   - inactivation (RFC 6330 style): sparse pivot rows substitute
+//     symbolically; only the dense "inactivated" core — d rows, d ≤ k̂/4
+//     — pays dense elimination, so low-degree streams with a few dense
+//     repair rows stop being ~k̂² payload work.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/buffer_pool.h"
 #include "fountain/block.h"
 #include "fountain/gf2.h"
@@ -39,8 +59,37 @@ struct CodingMetrics {
   obs::Counter rows_composed;        ///< Source rows materialised at decode().
 };
 
+/// Reusable decode() workspace: solve tables, M4R payload tables,
+/// inactivation core state. One scratch serves any number of decoders
+/// (receiver-wide, or across a whole bench batch), so the table
+/// allocations amortise across blocks instead of being paid per decode.
+/// Not thread-safe; use one per thread.
+class DecodeScratch {
+ public:
+  DecodeScratch() = default;
+  DecodeScratch(const DecodeScratch&) = delete;
+  DecodeScratch& operator=(const DecodeScratch&) = delete;
+
+ private:
+  friend class BlockDecoder;
+  AlignedWords solve_tables_;   ///< Blocked-solve subset tables (≤256 rows).
+  AlignedWords icomp_;          ///< Per-row inactive-core combinations.
+  AlignedWords core_;           ///< Dense core records (matrix | rhs).
+  AlignedBytes payload_tables_; ///< M4R payload strip tables.
+  AlignedBytes core_payloads_;  ///< Materialised inactivated symbols.
+  std::vector<std::uint8_t> dense_;        ///< Per-pivot density flags.
+  std::vector<std::uint32_t> core_index_;  ///< Pivot -> core column.
+  std::vector<std::uint32_t> core_pivots_; ///< Core column -> pivot.
+  std::vector<const std::uint64_t*> comp_ptrs_;
+  std::vector<std::uint8_t*> dst_ptrs_;
+};
+
 class BlockDecoder {
  public:
+  /// Strategy override for equivalence tests; kAuto picks by stream
+  /// shape (deterministically — never by machine).
+  enum class DecodeStrategy { kAuto, kPlainElimination, kInactivation };
+
   /// `track_data` false = rank-only mode (no payload bytes stored).
   /// `pool`, when set, receives the payload buffers of dropped redundant
   /// symbols and of stored symbols once the block has been decoded, so
@@ -55,12 +104,11 @@ class BlockDecoder {
   /// Returns true if the symbol was innovative (rank increased).
   /// Takes ownership of `data`: the bytes are stored (or recycled)
   /// without copying.
-  bool add_symbol(const BitVector& coeffs, std::vector<std::uint8_t>&& data);
+  bool add_symbol(const BitVector& coeffs, AlignedBytes&& data);
 
   /// Copying convenience overload (tests and observers). The payload is
   /// only copied in track_data mode.
-  bool add_symbol(const BitVector& coeffs,
-                  const std::vector<std::uint8_t>& data);
+  bool add_symbol(const BitVector& coeffs, const AlignedBytes& data);
 
   /// Inserts a wire symbol, taking ownership of its payload bytes
   /// (coefficients regenerated from its seed). The hot-path form: the
@@ -92,8 +140,15 @@ class BlockDecoder {
 
   /// Recovers the original block. Requires complete() and track_data.
   /// Idempotent; the first call performs back-substitution and the
-  /// deferred payload XORs.
+  /// deferred payload XORs (using a private scratch).
   const BlockData& decode();
+
+  /// As decode(), but working in caller-owned scratch so table storage
+  /// amortises across blocks (the receiver passes one per connection).
+  const BlockData& decode(DecodeScratch& scratch);
+
+  /// Overrides the decode() strategy choice (tests).
+  void set_decode_strategy(DecodeStrategy s) { strategy_ = s; }
 
   // --- Cost introspection (mirrors the CodingMetrics counters) ---
   std::uint64_t payload_bytes_xored() const { return payload_bytes_xored_; }
@@ -101,41 +156,91 @@ class BlockDecoder {
   std::uint64_t rows_composed() const { return rows_composed_; }
 
  private:
-  struct Row {
-    BitVector coeffs;  ///< Over the k̂ source symbols.
-    BitVector comp;    ///< Over stored_ slots; empty in rank-only mode.
-  };
-
   /// Expands a wire symbol's coefficients into scratch_coeffs_.
   void expand_coefficients(const net::EncodedSymbol& symbol);
 
-  /// Sparse composition application: XOR each row's selected raw
-  /// payloads straight into `out`. Returns payload bytes XORed.
-  std::uint64_t compose_direct(BlockData& out);
+  std::uint64_t* row(std::size_t p) { return rows_.data() + p * stride_words_; }
+  const std::uint64_t* row(std::size_t p) const {
+    return rows_.data() + p * stride_words_;
+  }
+  std::uint64_t* row_comp(std::size_t p) { return row(p) + coeff_words_; }
+  const std::uint64_t* row_comp(std::size_t p) const {
+    return row(p) + coeff_words_;
+  }
+  bool has_pivot(std::size_t p) const {
+    return ((present_[p >> 6] >> (p & 63)) & 1ULL) != 0;
+  }
 
-  /// Dense application via 4-bit group tables (method of four
-  /// Russians): all 15 subset XORs per group of four stored payloads
-  /// are built once and shared across output rows.
-  std::uint64_t compose_grouped(BlockData& out, std::size_t groups);
+  /// Symbolic back-substitution via 8-column blocked M4R over the fused
+  /// rows; afterwards each pivot row's composition is final. Dispatches
+  /// to a constant-W instantiation for common widths (the W-word inner
+  /// XORs fully unroll); WC = 0 is the runtime-width fallback.
+  std::uint64_t solve_symbolic_blocked(DecodeScratch& scratch);
+  template <std::size_t WC>
+  std::uint64_t solve_symbolic_blocked_impl(DecodeScratch& scratch);
+
+  /// Reduces the incoming track-mode record in scratch_row_ against the
+  /// pivot rows. Constant-W instantiations keep the whole fused record
+  /// in registers across the scan (no store-to-load stalls on the
+  /// serial eliminate-and-rescan chain); the runtime-width fallback
+  /// uses the dispatched kernel's fused reduce_row. Returns the free
+  /// pivot (or k̂ if redundant) and adds to `words`.
+  std::size_t reduce_track(std::uint64_t& words);
+  template <std::size_t WC>
+  std::size_t reduce_track_impl(std::uint64_t& words);
+
+  /// Inactivation: substitutes sparse rows symbolically, solves the
+  /// d-row dense core, materialises core payloads, then every output
+  /// row. Returns payload bytes XORed; adds symbolic words to `words`.
+  std::uint64_t decode_inactivation(BlockData& out, DecodeScratch& scratch,
+                                    std::uint64_t& words);
+
+  /// Materialises `nrows` payload rows: dsts[i] ^= XOR of stored_ slots
+  /// selected by comps[i] (k̂-bit vectors). Picks direct sparse gather or
+  /// strip-processed 4/8-bit M4R group tables by total set-bit cost.
+  std::uint64_t compose_rows(const std::uint64_t* const* comps,
+                             std::uint8_t* const* dsts, std::size_t nrows,
+                             DecodeScratch& scratch);
+
+  std::uint64_t compose_rows_direct(const std::uint64_t* const* comps,
+                                    std::uint8_t* const* dsts,
+                                    std::size_t nrows);
+  std::uint64_t compose_rows_m4r(const std::uint64_t* const* comps,
+                                 std::uint8_t* const* dsts,
+                                 std::size_t nrows, std::size_t group_bits,
+                                 DecodeScratch& scratch);
 
   std::uint32_t symbols_;
   std::size_t symbol_bytes_;
   bool track_data_;
   BufferPool* pool_ = nullptr;
   CodingMetrics* metrics_ = nullptr;
+  DecodeStrategy strategy_ = DecodeStrategy::kAuto;
   std::uint32_t rank_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t redundant_ = 0;
   std::uint64_t payload_bytes_xored_ = 0;
   std::uint64_t coeff_word_xors_ = 0;
   std::uint64_t rows_composed_ = 0;
-  /// pivot_rows_[p] holds the row whose lowest set bit is p (if any).
-  std::vector<std::optional<Row>> pivot_rows_;
+  std::size_t coeff_words_;   ///< ceil(k̂ / 64).
+  std::size_t stride_words_;  ///< Record stride: 2·coeff_words_ (track) or 1·.
+  /// Flat fused row arena: record p = [coeffs | comp] at p·stride_words_.
+  /// Pivot row p has its lowest coefficient bit at p; absent rows zero.
+  AlignedWords rows_;
+  std::vector<std::uint64_t> present_;  ///< Pivot-present bitmap.
+  AlignedWords scratch_row_;            ///< Incoming record being reduced.
   /// Raw payloads of stored (innovative) symbols, in arrival order; slot
   /// j is what comp bit j refers to. Empty in rank-only mode.
-  std::vector<std::vector<std::uint8_t>> stored_;
+  std::vector<AlignedBytes> stored_;
   BitVector scratch_coeffs_;  ///< Reused across add_symbol calls.
   std::optional<BlockData> decoded_;
 };
+
+/// Decodes every complete(), not-yet-decoded decoder in `decoders`,
+/// sharing `scratch` so solve/table storage is allocated once for the
+/// whole batch. Returns the number of blocks decoded. Incomplete
+/// decoders are skipped (call again when more symbols arrive).
+std::size_t decode_batch(BlockDecoder* const* decoders, std::size_t n,
+                         DecodeScratch& scratch);
 
 }  // namespace fmtcp::fountain

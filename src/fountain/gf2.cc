@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "fountain/gf2_kernels.h"
 
 namespace fmtcp::fountain {
 
@@ -60,93 +61,24 @@ void BitVector::random_into(std::size_t bits, Rng& rng, BitVector& out) {
   if (tail != 0) w[out.nwords_ - 1] &= (~0ULL >> (64 - tail));
 }
 
-void xor_bytes(std::vector<std::uint8_t>& dst,
-               const std::vector<std::uint8_t>& src) {
-  FMTCP_DCHECK(dst.size() == src.size());
-  xor_bytes_raw(dst.data(), src.data(), dst.size());
+// The byte-XOR kernels behind these entry points live in
+// fountain/gf2_kernels.cc (scalar + SIMD stamps, runtime-dispatched).
+// These forwards pay one atomic load + indirect call; loops that XOR
+// many times should hoist `const Gf2KernelOps& ops = gf2_kernel();`.
+
+void xor_bytes_raw(std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t size) {
+  gf2_kernel().xor_bytes_raw(dst, src, size);
 }
 
-namespace {
-
-inline std::uint64_t load_u64(const std::uint8_t* p) {
-  std::uint64_t v;
-  __builtin_memcpy(&v, p, 8);
-  return v;
-}
-
-inline void store_u64(std::uint8_t* p, std::uint64_t v) {
-  __builtin_memcpy(p, &v, 8);
-}
-
-/// dst ^= a ^ b ^ c ^ d, one pass.
-void xor4_raw(std::uint8_t* __restrict dst, const std::uint8_t* __restrict a,
-              const std::uint8_t* __restrict b,
-              const std::uint8_t* __restrict c,
-              const std::uint8_t* __restrict d, std::size_t size) {
-  std::size_t i = 0;
-  for (; i + 8 <= size; i += 8) {
-    store_u64(dst + i, load_u64(dst + i) ^ load_u64(a + i) ^ load_u64(b + i) ^
-                           load_u64(c + i) ^ load_u64(d + i));
-  }
-  for (; i < size; ++i) dst[i] ^= a[i] ^ b[i] ^ c[i] ^ d[i];
-}
-
-/// dst ^= a ^ b, one pass.
-void xor2_raw(std::uint8_t* __restrict dst, const std::uint8_t* __restrict a,
-              const std::uint8_t* __restrict b, std::size_t size) {
-  std::size_t i = 0;
-  for (; i + 8 <= size; i += 8) {
-    store_u64(dst + i,
-              load_u64(dst + i) ^ load_u64(a + i) ^ load_u64(b + i));
-  }
-  for (; i < size; ++i) dst[i] ^= a[i] ^ b[i];
-}
-
-}  // namespace
-
-void xor_bytes_raw(std::uint8_t* __restrict dst,
-                   const std::uint8_t* __restrict src, std::size_t size) {
-  // Payloads are hundreds of bytes; unroll 4 x 64-bit so the compiler can
-  // keep the pipeline full (and vectorize where profitable).
-  std::size_t i = 0;
-  for (; i + 32 <= size; i += 32) {
-    store_u64(dst + i, load_u64(dst + i) ^ load_u64(src + i));
-    store_u64(dst + i + 8, load_u64(dst + i + 8) ^ load_u64(src + i + 8));
-    store_u64(dst + i + 16, load_u64(dst + i + 16) ^ load_u64(src + i + 16));
-    store_u64(dst + i + 24, load_u64(dst + i + 24) ^ load_u64(src + i + 24));
-  }
-  for (; i + 8 <= size; i += 8) {
-    store_u64(dst + i, load_u64(dst + i) ^ load_u64(src + i));
-  }
-  for (; i < size; ++i) dst[i] ^= src[i];
-}
-
-void xor_into(std::uint8_t* __restrict dst, const std::uint8_t* __restrict a,
-              const std::uint8_t* __restrict b, std::size_t size) {
-  std::size_t i = 0;
-  for (; i + 32 <= size; i += 32) {
-    store_u64(dst + i, load_u64(a + i) ^ load_u64(b + i));
-    store_u64(dst + i + 8, load_u64(a + i + 8) ^ load_u64(b + i + 8));
-    store_u64(dst + i + 16, load_u64(a + i + 16) ^ load_u64(b + i + 16));
-    store_u64(dst + i + 24, load_u64(a + i + 24) ^ load_u64(b + i + 24));
-  }
-  for (; i + 8 <= size; i += 8) {
-    store_u64(dst + i, load_u64(a + i) ^ load_u64(b + i));
-  }
-  for (; i < size; ++i) dst[i] = a[i] ^ b[i];
+void xor_into(std::uint8_t* dst, const std::uint8_t* a,
+              const std::uint8_t* b, std::size_t size) {
+  gf2_kernel().xor_into(dst, a, b, size);
 }
 
 void xor_accumulate(std::uint8_t* dst, const std::uint8_t* const* srcs,
                     std::size_t n, std::size_t size) {
-  std::size_t s = 0;
-  for (; s + 4 <= n; s += 4) {
-    xor4_raw(dst, srcs[s], srcs[s + 1], srcs[s + 2], srcs[s + 3], size);
-  }
-  if (s + 2 <= n) {
-    xor2_raw(dst, srcs[s], srcs[s + 1], size);
-    s += 2;
-  }
-  if (s < n) xor_bytes_raw(dst, srcs[s], size);
+  gf2_kernel().xor_accumulate(dst, srcs, n, size);
 }
 
 }  // namespace fmtcp::fountain

@@ -164,13 +164,18 @@ class BitVector {
   std::size_t heap_words_ = 0;      ///< Heap capacity in words.
 };
 
-/// dst ^= src (symbol payload accumulation). Sizes must match.
-void xor_bytes(std::vector<std::uint8_t>& dst,
-               const std::vector<std::uint8_t>& src);
-
-/// dst[0..size) ^= src[0..size), unrolled 64-bit words.
+/// dst[0..size) ^= src[0..size). Dispatches to the widest XOR kernel the
+/// CPU supports (fountain/gf2_kernels.h); all variants are bit-identical.
 void xor_bytes_raw(std::uint8_t* dst, const std::uint8_t* src,
                    std::size_t size);
+
+/// dst ^= src (symbol payload accumulation). Sizes must match. Accepts
+/// any contiguous byte containers (std::vector, AlignedBytes, ...).
+template <typename DstBytes, typename SrcBytes>
+void xor_bytes(DstBytes& dst, const SrcBytes& src) {
+  FMTCP_DCHECK(dst.size() == src.size());
+  xor_bytes_raw(dst.data(), src.data(), dst.size());
+}
 
 /// dst[0..size) = a[0..size) ^ b[0..size) in a single fused pass (no
 /// pre-copy). dst must not overlap a or b.

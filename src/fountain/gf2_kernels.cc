@@ -1,0 +1,164 @@
+#include "fountain/gf2_kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/cpu_features.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && !defined(FMTCP_SIMD_DISABLED)
+#define FMTCP_HAVE_X86_SIMD 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__) && !defined(FMTCP_SIMD_DISABLED)
+#define FMTCP_HAVE_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace fmtcp::fountain {
+namespace {
+
+// ---- Scalar stamp (always compiled; the reference implementation). ----
+#define FMTCP_ISA_NS scalar_impl
+#define FMTCP_ISA_NAME "scalar"
+#define FMTCP_ISA_TARGET
+#define FMTCP_VEC_BYTES 8
+#define FMTCP_VLOAD(p) lo64(p)
+#define FMTCP_VSTORE(p, v) st64(p, v)
+#define FMTCP_VXOR(a, b) ((a) ^ (b))
+#include "fountain/gf2_kernels_simd.inc"
+
+#if defined(FMTCP_HAVE_X86_SIMD)
+
+#define FMTCP_ISA_NS sse2_impl
+#define FMTCP_ISA_NAME "sse2"
+#define FMTCP_ISA_TARGET __attribute__((target("sse2")))
+#define FMTCP_VEC_BYTES 16
+#define FMTCP_VLOAD(p) \
+  _mm_loadu_si128(reinterpret_cast<const __m128i*>(p))
+#define FMTCP_VSTORE(p, v) \
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), (v))
+#define FMTCP_VXOR(a, b) _mm_xor_si128((a), (b))
+#include "fountain/gf2_kernels_simd.inc"
+
+#define FMTCP_ISA_NS avx2_impl
+#define FMTCP_ISA_NAME "avx2"
+#define FMTCP_ISA_TARGET __attribute__((target("avx2")))
+#define FMTCP_VEC_BYTES 32
+#define FMTCP_VLOAD(p) \
+  _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))
+#define FMTCP_VSTORE(p, v) \
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), (v))
+#define FMTCP_VXOR(a, b) _mm256_xor_si256((a), (b))
+#include "fountain/gf2_kernels_simd.inc"
+
+#define FMTCP_ISA_NS avx512_impl
+#define FMTCP_ISA_NAME "avx512"
+#define FMTCP_ISA_TARGET __attribute__((target("avx512f")))
+#define FMTCP_VEC_BYTES 64
+#define FMTCP_VLOAD(p) _mm512_loadu_si512(p)
+#define FMTCP_VSTORE(p, v) _mm512_storeu_si512((p), (v))
+#define FMTCP_VXOR(a, b) _mm512_xor_si512((a), (b))
+#include "fountain/gf2_kernels_simd.inc"
+
+#endif  // FMTCP_HAVE_X86_SIMD
+
+#if defined(FMTCP_HAVE_NEON)
+
+#define FMTCP_ISA_NS neon_impl
+#define FMTCP_ISA_NAME "neon"
+#define FMTCP_ISA_TARGET
+#define FMTCP_VEC_BYTES 16
+#define FMTCP_VLOAD(p) vld1q_u8(p)
+#define FMTCP_VSTORE(p, v) vst1q_u8((p), (v))
+#define FMTCP_VXOR(a, b) veorq_u8((a), (b))
+#include "fountain/gf2_kernels_simd.inc"
+
+#endif  // FMTCP_HAVE_NEON
+
+const Gf2KernelOps* pick_widest() {
+#if defined(FMTCP_HAVE_X86_SIMD)
+  const CpuFeatures& f = cpu_features();
+  // AVX2 is preferred over AVX-512 by default: at fountain symbol sizes
+  // (hundreds of bytes) 512-bit ops measure slower on common parts
+  // (frequency licensing), and 256-bit lanes already saturate the loads.
+  // FMTCP_FORCE_KERNEL=avx512 opts in explicitly.
+  if (f.avx2) return &avx2_impl::kOps;
+  if (f.sse2) return &sse2_impl::kOps;
+#endif
+#if defined(FMTCP_HAVE_NEON)
+  if (cpu_features().neon) return &neon_impl::kOps;
+#endif
+  return &scalar_impl::kOps;
+}
+
+const Gf2KernelOps* find_available(const char* name) {
+  for (const Gf2KernelOps* ops : gf2_available_kernels()) {
+    if (std::strcmp(ops->name, name) == 0) return ops;
+  }
+  return nullptr;
+}
+
+const Gf2KernelOps* initial_kernel() {
+  // Environment override for tests and reproducible benchmarking. An
+  // unknown or unavailable name aborts loudly rather than silently
+  // benchmarking the wrong kernel.
+  const char* force = std::getenv("FMTCP_FORCE_KERNEL");
+  if (force != nullptr && *force != '\0') {
+    if (const Gf2KernelOps* ops = find_available(force)) return ops;
+    std::string names;
+    for (const Gf2KernelOps* ops : gf2_available_kernels()) {
+      if (!names.empty()) names += ',';
+      names += ops->name;
+    }
+    std::fprintf(stderr,
+                 "FMTCP_FORCE_KERNEL=%s: unknown or unavailable GF(2) "
+                 "kernel (available: %s)\n",
+                 force, names.c_str());
+    std::abort();
+  }
+  return pick_widest();
+}
+
+std::atomic<const Gf2KernelOps*> g_active{nullptr};
+
+}  // namespace
+
+const Gf2KernelOps& gf2_kernel() {
+  const Gf2KernelOps* ops = g_active.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    // Benign init race: initial_kernel() is deterministic per process
+    // environment, so concurrent first calls store the same pointer.
+    ops = initial_kernel();
+    g_active.store(ops, std::memory_order_release);
+  }
+  return *ops;
+}
+
+const Gf2KernelOps& gf2_scalar_kernel() { return scalar_impl::kOps; }
+
+std::vector<const Gf2KernelOps*> gf2_available_kernels() {
+  std::vector<const Gf2KernelOps*> out;
+  out.push_back(&scalar_impl::kOps);
+#if defined(FMTCP_HAVE_X86_SIMD)
+  const CpuFeatures& f = cpu_features();
+  if (f.sse2) out.push_back(&sse2_impl::kOps);
+  if (f.avx2) out.push_back(&avx2_impl::kOps);
+  if (f.avx512f) out.push_back(&avx512_impl::kOps);
+#endif
+#if defined(FMTCP_HAVE_NEON)
+  if (cpu_features().neon) out.push_back(&neon_impl::kOps);
+#endif
+  return out;
+}
+
+bool gf2_set_kernel(const char* name) {
+  const Gf2KernelOps* ops = find_available(name);
+  if (ops == nullptr) return false;
+  g_active.store(ops, std::memory_order_release);
+  return true;
+}
+
+}  // namespace fmtcp::fountain

@@ -58,7 +58,7 @@ class LtDecoder {
  private:
   struct PendingSymbol {
     std::vector<std::uint32_t> neighbors;  ///< Unresolved source indices.
-    std::vector<std::uint8_t> data;
+    AlignedBytes data;
   };
 
   void process_ripple(std::vector<std::uint32_t> ripple);
@@ -68,7 +68,7 @@ class LtDecoder {
   RobustSoliton dist_;
   std::uint32_t recovered_ = 0;
   std::uint64_t received_ = 0;
-  std::vector<std::optional<std::vector<std::uint8_t>>> source_;
+  std::vector<std::optional<AlignedBytes>> source_;
   std::vector<PendingSymbol> pending_;
 };
 

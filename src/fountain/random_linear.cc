@@ -21,16 +21,16 @@ void coefficients_from_seed_into(std::uint64_t seed, std::uint32_t k,
   while (!out.any()) BitVector::random_into(k, rng, out);
 }
 
-std::vector<std::uint8_t> encode_with_coefficients(const BlockData& block,
-                                                   const BitVector& coeffs) {
-  std::vector<std::uint8_t> out;
+AlignedBytes encode_with_coefficients(const BlockData& block,
+                                      const BitVector& coeffs) {
+  AlignedBytes out;
   encode_with_coefficients_into(block, coeffs, out);
   return out;
 }
 
 void encode_with_coefficients_into(const BlockData& block,
                                    const BitVector& coeffs,
-                                   std::vector<std::uint8_t>& out) {
+                                   AlignedBytes& out) {
   FMTCP_CHECK(coeffs.size() == block.symbols());
   out.assign(block.symbol_bytes(), 0);
   // Iterate set words, not per-bit get(i), and fold batches of source

@@ -30,14 +30,14 @@ void coefficients_from_seed_into(std::uint64_t seed, std::uint32_t k,
                                  BitVector& out);
 
 /// XOR of the block's symbols selected by `coeffs` (Eq. 1).
-std::vector<std::uint8_t> encode_with_coefficients(const BlockData& block,
-                                                   const BitVector& coeffs);
+AlignedBytes encode_with_coefficients(const BlockData& block,
+                                      const BitVector& coeffs);
 
 /// As above, but writes into `out` (resized and zeroed) so a recycled
 /// buffer's capacity is reused instead of allocating a fresh vector.
 void encode_with_coefficients_into(const BlockData& block,
                                    const BitVector& coeffs,
-                                   std::vector<std::uint8_t>& out);
+                                   AlignedBytes& out);
 
 /// Decoding-failure probability after receiving `received` random symbols
 /// of a k̂-symbol block (paper Eq. 2): 1 if received < k̂, else

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/time.h"
 
 namespace fmtcp::net {
@@ -35,7 +36,10 @@ struct EncodedSymbol {
   /// symbol `systematic_index` (unit coefficient vector; coeff_seed
   /// unused). Lets a systematic encoder ship plain data first.
   std::uint32_t systematic_index = kNotSystematic;
-  std::vector<std::uint8_t> data;   ///< Encoded payload bytes (optional).
+  /// Encoded payload bytes (optional). AlignedBytes so the 64-byte
+  /// alignment a BufferPool establishes survives every move of the
+  /// symbol across the packet path (moves never reallocate).
+  AlignedBytes data;
 
   static constexpr std::uint32_t kNotSystematic = UINT32_MAX;
 

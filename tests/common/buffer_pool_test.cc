@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/aligned.h"
+
 namespace fmtcp {
 namespace {
 
@@ -29,11 +35,11 @@ TEST(BufferPool, ReleasedBufferIsReused) {
 
 TEST(BufferPool, ReuseResizesToRequest) {
   BufferPool pool;
-  pool.release(std::vector<std::uint8_t>(32, 0xAB));
+  pool.release(AlignedBytes(32, 0xAB));
   const auto bigger = pool.acquire(64);
   EXPECT_EQ(bigger.size(), 64u);
 
-  pool.release(std::vector<std::uint8_t>(64, 0xCD));
+  pool.release(AlignedBytes(64, 0xCD));
   const auto smaller = pool.acquire(16);
   EXPECT_EQ(smaller.size(), 16u);
 }
@@ -47,7 +53,7 @@ TEST(BufferPool, EmptyReleaseIgnored) {
 TEST(BufferPool, FreeListCapped) {
   BufferPool pool(/*max_free=*/2);
   for (int i = 0; i < 5; ++i) {
-    pool.release(std::vector<std::uint8_t>(8, 0));
+    pool.release(AlignedBytes(8, 0));
   }
   EXPECT_EQ(pool.free_count(), 2u);
 }
@@ -81,11 +87,44 @@ TEST(BufferPool, StatsTrackOutstandingAndHighWater) {
   EXPECT_EQ(stats.free, 1u);
 }
 
+TEST(BufferPool, HandoutsAre64ByteAlignedAndCounted) {
+  BufferPool pool;
+  std::vector<AlignedBytes> out;
+  for (std::size_t size : {1u, 8u, 160u, 1400u, 4096u}) {
+    out.push_back(pool.acquire(size));
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(out.back().data()) %
+                  kBufferAlignment,
+              0u)
+        << "size " << size;
+  }
+  // Recycled buffers keep the alignment contract too.
+  for (auto& buffer : out) pool.release(std::move(buffer));
+  const auto recycled = pool.acquire(160);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(recycled.data()) %
+                kBufferAlignment,
+            0u);
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.acquired, 6u);
+  EXPECT_EQ(stats.aligned_handouts, stats.acquired);
+}
+
+TEST(BufferPool, MovePreservesAlignedAllocation) {
+  BufferPool pool;
+  AlignedBytes buffer = pool.acquire(160);
+  const std::uint8_t* storage = buffer.data();
+  // The packet path moves payloads sender → packet → receiver → decoder;
+  // a move must carry the same (aligned) allocation, not reallocate.
+  AlignedBytes moved = std::move(buffer);
+  EXPECT_EQ(moved.data(), storage);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(moved.data()) % kBufferAlignment,
+            0u);
+}
+
 TEST(BufferPool, StatsCountDroppedReleases) {
   BufferPool pool(/*max_free=*/1);
-  pool.release(std::vector<std::uint8_t>(8, 0));
-  pool.release(std::vector<std::uint8_t>(8, 0));
-  pool.release(std::vector<std::uint8_t>(8, 0));
+  pool.release(AlignedBytes(8, 0));
+  pool.release(AlignedBytes(8, 0));
+  pool.release(AlignedBytes(8, 0));
   const BufferPool::Stats stats = pool.stats();
   EXPECT_EQ(stats.released, 3u);
   EXPECT_EQ(stats.dropped, 2u);

@@ -23,7 +23,7 @@ TEST(BlockData, SymbolsAreContiguousSlices) {
   EXPECT_EQ(block.bytes()[3], 10);
   EXPECT_EQ(block.bytes()[11], 32);
   EXPECT_EQ(block.symbol_copy(2),
-            (std::vector<std::uint8_t>{20, 21, 22}));
+            (AlignedBytes{20, 21, 22}));
 }
 
 TEST(DeterministicBlock, SameIdSameBytes) {

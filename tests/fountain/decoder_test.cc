@@ -89,7 +89,7 @@ TEST(BlockDecoder, DecodeWithDenseBasis) {
   const BlockData original = make_deterministic_block(3, 8, 8);
   BlockDecoder decoder(8, 8, true);
   BitVector coeffs(8);
-  std::vector<std::uint8_t> acc(8, 0);
+  AlignedBytes acc(8, 0);
   for (std::uint32_t i = 0; i < 8; ++i) {
     coeffs.set(i, true);
     xor_bytes(acc, original.symbol_copy(i));
@@ -105,7 +105,7 @@ TEST(BlockDecoder, DecodeIdempotent) {
   RandomLinearEncoder encoder(4, original, rng);
   BlockDecoder decoder(4, 4, true);
   while (!decoder.complete()) decoder.add_symbol(encoder.next_symbol());
-  const std::vector<std::uint8_t> first = decoder.decode().bytes();
+  const AlignedBytes first = decoder.decode().bytes();
   EXPECT_EQ(decoder.decode().bytes(), first);
 }
 

@@ -38,7 +38,7 @@ TEST(Encode, XorOfSelectedSymbols) {
   coeffs.set(0, true);
   coeffs.set(2, true);
   const auto encoded = encode_with_coefficients(block, coeffs);
-  EXPECT_EQ(encoded, (std::vector<std::uint8_t>{0x05, 0x50}));
+  EXPECT_EQ(encoded, (AlignedBytes{0x05, 0x50}));
 }
 
 TEST(Encode, SingleCoefficientCopiesSymbol) {

@@ -1,0 +1,31 @@
+// Fixture for lint_determinism rule `cpu-dispatch`. Not compiled —
+// scanned by tools/lint_determinism.py --self-test. Each line that must
+// produce a finding carries an EXPECT-LINT marker naming the rule; every
+// other line must scan clean.
+#include <cpuid.h>
+#include <sys/auxv.h>
+
+bool bad_supports() {
+  return __builtin_cpu_supports("avx2");          // EXPECT-LINT(cpu-dispatch)
+}
+void bad_init() { __builtin_cpu_init(); }         // EXPECT-LINT(cpu-dispatch)
+bool bad_cpuid() {
+  unsigned a, b, c, d;
+  return __get_cpuid(1, &a, &b, &c, &d) != 0;     // EXPECT-LINT(cpu-dispatch)
+}
+bool bad_cpuid_count() {
+  unsigned a, b, c, d;
+  return __get_cpuid_count(7, 0, &a, &b, &c, &d); // EXPECT-LINT(cpu-dispatch)
+}
+unsigned long bad_auxv() { return getauxval(16); }  // EXPECT-LINT(cpu-dispatch)
+
+// Sanctioned: the one probe site, justified so review sees it.
+bool good_probe() {
+  // NOLINT-DETERMINISM(kernel dispatch only; all variants bit-identical)
+  return __builtin_cpu_supports("sse2");
+}
+
+// Clean: identifiers merely containing the banned names.
+bool my_getauxval_cache();
+// Clean: banned token in a comment only: __builtin_cpu_supports is stripped.
+const char* good_string = "__get_cpuid inside a string literal";

@@ -1,0 +1,142 @@
+// Inactivation-vs-plain equivalence: decode() may solve a block either by
+// plain blocked elimination or by inactivation (sparse rows substitute
+// symbolically, only the dense core pays dense elimination). Both compute
+// the unique GF(2) solution, so for any stream the decoded bytes must be
+// byte-identical under either strategy, under kAuto, and under any
+// dispatched XOR kernel. This suite forces each strategy on identical
+// streams — systematic/coded mixes are the inactivation sweet spot
+// (weight-1 pivot rows plus a few dense repair rows) — and cross-checks
+// everything against the known source block.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "fountain/decoder.h"
+#include "fountain/gf2_kernels.h"
+#include "fountain/random_linear.h"
+
+namespace fmtcp::fountain {
+namespace {
+
+/// Mixed stream: a partial systematic prefix (sparse rows) topped up with
+/// dense coded repair symbols, shuffled, with duplicates sprinkled in.
+/// `coded_fraction` steers the dense-core size the classifier sees.
+std::vector<net::EncodedSymbol> mixed_stream(std::uint64_t seed,
+                                             std::uint32_t k,
+                                             std::size_t symbol_bytes,
+                                             double coded_fraction) {
+  Rng rng(seed * 977 + 5);
+  RandomLinearEncoder systematic(
+      seed, make_deterministic_block(seed, k, symbol_bytes), rng.fork(),
+      /*systematic=*/true);
+  RandomLinearEncoder coded(seed,
+                            make_deterministic_block(seed, k, symbol_bytes),
+                            rng.fork(), /*systematic=*/false);
+  std::vector<net::EncodedSymbol> pool;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    // Drop a fraction of the systematic pass, as loss would.
+    auto symbol = systematic.next_symbol();
+    if (!rng.bernoulli(coded_fraction)) pool.push_back(std::move(symbol));
+  }
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(k * coded_fraction) +
+                                    k / 4 + 8;
+       ++i) {
+    pool.push_back(coded.next_symbol());
+    if (rng.bernoulli(0.15)) pool.push_back(pool.back());  // Duplicate.
+  }
+  for (std::size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[rng.next_below(i)]);
+  }
+  return pool;
+}
+
+using Param = std::tuple<std::uint64_t /*seed*/, std::uint32_t /*k*/,
+                         double /*coded_fraction*/>;
+
+class InactivationEquivalence : public ::testing::TestWithParam<Param> {};
+
+TEST_P(InactivationEquivalence, StrategiesDecodeIdenticalBytes) {
+  const auto [seed, k, coded_fraction] = GetParam();
+  const std::size_t symbol_bytes = 24;
+  const std::vector<net::EncodedSymbol> stream =
+      mixed_stream(seed, k, symbol_bytes, coded_fraction);
+  const BlockData expected = make_deterministic_block(seed, k, symbol_bytes);
+
+  BlockDecoder plain(k, symbol_bytes, /*track_data=*/true);
+  BlockDecoder inact(k, symbol_bytes, /*track_data=*/true);
+  BlockDecoder auto_pick(k, symbol_bytes, /*track_data=*/true);
+  plain.set_decode_strategy(BlockDecoder::DecodeStrategy::kPlainElimination);
+  inact.set_decode_strategy(BlockDecoder::DecodeStrategy::kInactivation);
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    // The strategy choice affects decode() only: the online rank
+    // trajectory must be identical.
+    const bool a = plain.add_symbol(stream[i]);
+    const bool b = inact.add_symbol(stream[i]);
+    const bool c = auto_pick.add_symbol(stream[i]);
+    ASSERT_EQ(a, b) << "symbol " << i;
+    ASSERT_EQ(a, c) << "symbol " << i;
+    ASSERT_EQ(plain.rank(), inact.rank()) << "symbol " << i;
+  }
+  ASSERT_TRUE(plain.complete());
+  ASSERT_TRUE(inact.complete());
+
+  DecodeScratch scratch;  // Shared: decode() must leave no stale state.
+  const BlockData& plain_out = plain.decode(scratch);
+  const BlockData& inact_out = inact.decode(scratch);
+  const BlockData& auto_out = auto_pick.decode(scratch);
+  EXPECT_EQ(plain_out.bytes(), expected.bytes());
+  EXPECT_EQ(inact_out.bytes(), expected.bytes());
+  EXPECT_EQ(auto_out.bytes(), expected.bytes());
+}
+
+TEST_P(InactivationEquivalence, StrategiesAgreeUnderEveryKernel) {
+  const auto [seed, k, coded_fraction] = GetParam();
+  if (k > 128) GTEST_SKIP() << "per-kernel sweep kept small";
+  const std::size_t symbol_bytes = 24;
+  const std::vector<net::EncodedSymbol> stream =
+      mixed_stream(seed, k, symbol_bytes, coded_fraction);
+  const BlockData expected = make_deterministic_block(seed, k, symbol_bytes);
+
+  const std::string saved = gf2_kernel().name;
+  for (const Gf2KernelOps* ops : gf2_available_kernels()) {
+    ASSERT_TRUE(gf2_set_kernel(ops->name));
+    for (const auto strategy :
+         {BlockDecoder::DecodeStrategy::kPlainElimination,
+          BlockDecoder::DecodeStrategy::kInactivation}) {
+      BlockDecoder decoder(k, symbol_bytes, /*track_data=*/true);
+      decoder.set_decode_strategy(strategy);
+      for (const auto& symbol : stream) decoder.add_symbol(symbol);
+      ASSERT_TRUE(decoder.complete()) << ops->name;
+      EXPECT_EQ(decoder.decode().bytes(), expected.bytes()) << ops->name;
+    }
+  }
+  ASSERT_TRUE(gf2_set_kernel(saved.c_str()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, InactivationEquivalence,
+    ::testing::Combine(::testing::Values(1u, 4u, 9u, 16u),
+                       ::testing::Values(32u, 65u, 128u, 256u),
+                       ::testing::Values(0.1, 0.45, 1.0)));
+
+TEST(InactivationEquivalence, PureDenseStreamForcedInactivationStillExact) {
+  // Worst case for inactivation: every row dense, the core is nearly the
+  // whole block. Forcing the strategy must still be exact (it just loses
+  // its advantage).
+  const std::uint32_t k = 96;
+  Rng rng(8);
+  RandomLinearEncoder encoder(3, make_deterministic_block(3, k, 40),
+                              rng.fork(), /*systematic=*/false);
+  BlockDecoder decoder(k, 40, /*track_data=*/true);
+  decoder.set_decode_strategy(BlockDecoder::DecodeStrategy::kInactivation);
+  while (!decoder.complete()) decoder.add_symbol(encoder.next_symbol());
+  EXPECT_EQ(decoder.decode().bytes(),
+            make_deterministic_block(3, k, 40).bytes());
+}
+
+}  // namespace
+}  // namespace fmtcp::fountain

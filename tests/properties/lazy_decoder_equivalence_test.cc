@@ -83,7 +83,7 @@ class EagerDecoder {
  private:
   struct Row {
     BitVector coeffs;
-    std::vector<std::uint8_t> data;
+    AlignedBytes data;
   };
   std::uint32_t symbols_;
   std::size_t symbol_bytes_;

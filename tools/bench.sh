@@ -6,10 +6,24 @@
 # numbers on stdout.
 #
 #   tools/bench.sh [build-dir]      (default: build)
+#
+# FMTCP_FORCE_KERNEL=scalar|sse2|avx2|avx512|neon pins the GF(2) kernel
+# for the codec bench (the bench records which kernel ran in the JSON).
+# Forced runs write BENCH_codec.<kernel>.json instead of the committed
+# baseline: BENCH_codec.json stays the native-dispatch floor the
+# tools/check.sh guard compares against, and forced files sit beside it
+# for kernel-vs-kernel comparison (see EXPERIMENTS.md).
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
+
+codec_json="$repo/BENCH_codec.json"
+if [ -n "${FMTCP_FORCE_KERNEL:-}" ]; then
+  codec_json="$repo/BENCH_codec.${FMTCP_FORCE_KERNEL}.json"
+  echo "bench.sh: kernel forced to ${FMTCP_FORCE_KERNEL};" \
+       "writing $codec_json"
+fi
 
 # The repo's default build type (RelWithDebInfo) — same config the
 # committed BENCH_*.json numbers were recorded under.
@@ -28,12 +42,12 @@ cmake --build "$build" -j "$(nproc)" --target \
 # merged elementwise-min: per-process heap layout shifts each case by a
 # few percent, and the committed floor must be one a guard run on an
 # idle box can always meet.
-"$build/bench/bench_codec_micro" --json="$repo/BENCH_codec.json"
-"$build/bench/bench_codec_micro" --json="$repo/BENCH_codec.json" --merge-min
-"$build/bench/bench_codec_micro" --json="$repo/BENCH_codec.json" --merge-min
+"$build/bench/bench_codec_micro" --json="$codec_json"
+"$build/bench/bench_codec_micro" --json="$codec_json" --merge-min
+"$build/bench/bench_codec_micro" --json="$codec_json" --merge-min
 
 # Event-loop microbenches (scheduler churn, dispatch-profiling gate,
 # full-stack simulated-second cost). Informational; not recorded.
 "$build/bench/bench_sim_micro" --benchmark_min_time=0.2
 
-echo "bench.sh: wrote $repo/BENCH_sweep.json and $repo/BENCH_codec.json"
+echo "bench.sh: wrote $repo/BENCH_sweep.json and $codec_json"

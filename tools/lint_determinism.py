@@ -21,6 +21,11 @@ determinism test would have to catch the symptom:
                   event ordering, accumulation of floats) can differ
                   between runs. Iterate a sorted/stable container, or
                   sort before consuming.
+  cpu-dispatch    __builtin_cpu_supports / __get_cpuid / getauxval —
+                  host CPU probing. Feature-based dispatch is allowed
+                  to change throughput, never a result; every probe
+                  must live behind common/cpu_features with a
+                  documented NOLINT so review sees each site.
   pointer-key     std::map/set (or unordered_) keyed on a pointer —
                   iteration order is address order, i.e. allocator
                   behaviour; and identical content at distinct
@@ -98,6 +103,19 @@ RULES = (
         re.compile(r"for\s*\([^;)]*:\s*[^)]*unordered_"),
         "iterating an unordered container; hash-layout order can feed "
         "output or event ordering — use a sorted container or sort first",
+    ),
+    Rule(
+        "cpu-dispatch",
+        re.compile(
+            r"\b__builtin_cpu_supports\s*\("
+            r"|\b__builtin_cpu_init\s*\("
+            r"|\b__get_cpuid(?:_count)?\s*\("
+            r"|(?<![\w:])getauxval\s*\("
+            r"|\b_xgetbv\s*\("
+        ),
+        "CPU feature probing; host-dependent dispatch may change "
+        "throughput only, never a result — route it through "
+        "common/cpu_features and justify the probe site",
     ),
     Rule(
         "pointer-key",
