@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "json_baseline.h"
 #include "common/check.h"
 #include "common/cpu_features.h"
 #include "common/rng.h"
@@ -42,6 +43,7 @@ namespace {
 
 using namespace fmtcp;
 using namespace fmtcp::fountain;
+using namespace fmtcp::benchjson;
 
 // --------------------------------------------------------------------------
 // google-benchmark micros (default mode)
@@ -549,38 +551,6 @@ std::uint64_t rank_only_payload_bytes() {
   return decoder.payload_bytes_xored();
 }
 
-/// Finds `"name": {... "key": <value>` in a previously written JSON file.
-std::optional<double> baseline_field(const std::string& json,
-                                     const std::string& name,
-                                     const std::string& key) {
-  const std::size_t at = json.find("\"" + name + "\"");
-  if (at == std::string::npos) return std::nullopt;
-  const std::string field_key = "\"" + key + "\":";
-  const std::size_t field = json.find(field_key, at);
-  if (field == std::string::npos) return std::nullopt;
-  return std::strtod(json.c_str() + field + field_key.size(), nullptr);
-}
-
-/// Finds a top-level `"key": "value"` string field.
-std::optional<std::string> baseline_string(const std::string& json,
-                                           const std::string& key) {
-  const std::string field_key = "\"" + key + "\": \"";
-  const std::size_t at = json.find(field_key);
-  if (at == std::string::npos) return std::nullopt;
-  const std::size_t begin = at + field_key.size();
-  const std::size_t end = json.find('"', begin);
-  if (end == std::string::npos) return std::nullopt;
-  return json.substr(begin, end - begin);
-}
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return {};
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
 void write_json(const std::string& path, std::vector<CaseResult> results,
                 bool merge_min) {
   if (merge_min) {
@@ -676,17 +646,6 @@ int run_guard(const std::string& baseline_path, double max_regression) {
   std::printf("guard: all cases within %.0f%% of baseline\n",
               max_regression * 100.0);
   return 0;
-}
-
-std::optional<std::string> flag_value(int argc, char** argv,
-                                      const char* name) {
-  const std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::string(argv[i] + prefix.size());
-    }
-  }
-  return std::nullopt;
 }
 
 }  // namespace

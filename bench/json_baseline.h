@@ -1,0 +1,61 @@
+// Tiny helpers shared by the microbench --json/--guard harnesses
+// (bench_codec_micro, bench_sim_micro): reading a committed baseline
+// JSON, pulling single fields back out of it with plain string search
+// (the files are machine-written, so no general parser is needed), and
+// ad-hoc --flag=value extraction that coexists with google-benchmark's
+// own argv handling.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace fmtcp::benchjson {
+
+inline std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Finds `"name": {... "key": <value>` in a previously written JSON file.
+inline std::optional<double> baseline_field(const std::string& json,
+                                            const std::string& name,
+                                            const std::string& key) {
+  const std::size_t at = json.find("\"" + name + "\"");
+  if (at == std::string::npos) return std::nullopt;
+  const std::string field_key = "\"" + key + "\":";
+  const std::size_t field = json.find(field_key, at);
+  if (field == std::string::npos) return std::nullopt;
+  return std::strtod(json.c_str() + field + field_key.size(), nullptr);
+}
+
+/// Finds a top-level `"key": "value"` string field.
+inline std::optional<std::string> baseline_string(const std::string& json,
+                                                  const std::string& key) {
+  const std::string field_key = "\"" + key + "\": \"";
+  const std::size_t at = json.find(field_key);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t begin = at + field_key.size();
+  const std::size_t end = json.find('"', begin);
+  if (end == std::string::npos) return std::nullopt;
+  return json.substr(begin, end - begin);
+}
+
+inline std::optional<std::string> flag_value(int argc, char** argv,
+                                             const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fmtcp::benchjson

@@ -1,10 +1,12 @@
 #include "harness/sweep.h"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "obs/trace/span.h"
 
@@ -24,18 +26,26 @@ std::size_t SweepRunner::submit(SweepJob job) {
 }
 
 std::vector<RunResult> SweepRunner::run() {
+  std::vector<RunResult> results(queue_.size());
+  run_streaming([&results](std::size_t i, const SweepJob&, RunResult&& r) {
+    results[i] = std::move(r);
+  });
+  return results;
+}
+
+void SweepRunner::run_streaming(const ResultSink& sink) {
   FMTCP_SPAN_ARG("sweep.run", queue_.size());
   std::vector<SweepJob> jobs = std::move(queue_);
   queue_.clear();
-  std::vector<RunResult> results(jobs.size());
-  if (jobs.empty()) return results;
+  if (jobs.empty()) return;
 
   if (jobs_ == 1 || jobs.size() == 1) {
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      results[i] =
+      RunResult result =
           run_scenario(jobs[i].protocol, jobs[i].scenario, jobs[i].options);
+      sink(i, jobs[i], std::move(result));
     }
-    return results;
+    return;
   }
 
   // Tracers and observers are single-threaded; concurrent cells must not
@@ -51,24 +61,65 @@ std::vector<RunResult> SweepRunner::run() {
 
   const unsigned threads =
       std::min<unsigned>(jobs_, static_cast<unsigned>(jobs.size()));
+  // In-flight window: cell i is submitted only after cell i-window has
+  // been delivered, so at most `window` results are ever buffered.
+  // 2x the thread count keeps every worker busy while the main thread
+  // drains the ordered prefix; the +4 floor keeps tiny pools pipelined.
+  const std::size_t window =
+      std::max<std::size_t>(2 * threads, std::size_t{threads} + 4);
+
+  // Completion slots, reused modulo `window`. The windowing invariant
+  // (submitted - delivered <= window) means a worker writes slot
+  // i % window only after the main thread consumed its previous
+  // occupant, so each slot has exactly one writer at a time.
+  struct Slot {
+    RunResult result;
+    bool done = false;
+  };
+  std::vector<Slot> slots(window);
+  Mutex mutex;
+  CondVar slot_done;
+
   obs::trace::SpanScope startup_span("sweep.pool_start");
   ThreadPool pool(threads);
   startup_span.close();
+
+  std::size_t submitted = 0;
+  auto submit_one = [&](std::size_t i) {
+    pool.submit([&jobs, &slots, &mutex, &slot_done, window, i] {
+      RunResult result =
+          run_scenario(jobs[i].protocol, jobs[i].scenario, jobs[i].options);
+      MutexLock lock(mutex);
+      Slot& slot = slots[i % window];
+      slot.result = std::move(result);
+      slot.done = true;
+      slot_done.notify_all();
+    });
+  };
   {
-    FMTCP_SPAN_ARG("sweep.dispatch", jobs.size());
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      pool.submit([&jobs, &results, i] {
-        results[i] = run_scenario(jobs[i].protocol, jobs[i].scenario,
-                                  jobs[i].options);
-      });
+    FMTCP_SPAN_ARG("sweep.dispatch", std::min(window, jobs.size()));
+    for (; submitted < jobs.size() && submitted < window; ++submitted) {
+      submit_one(submitted);
     }
   }
-  {
-    // Main-thread time blocked on workers; overlap, not extra work.
-    FMTCP_SPAN("sweep.wait");
-    pool.wait();
+  for (std::size_t delivered = 0; delivered < jobs.size(); ++delivered) {
+    RunResult result;
+    {
+      // Main-thread time blocked on workers; overlap, not extra work.
+      FMTCP_SPAN("sweep.wait");
+      MutexLock lock(mutex);
+      Slot& slot = slots[delivered % window];
+      while (!slot.done) slot_done.wait(mutex);
+      result = std::move(slot.result);
+      slot.done = false;
+    }
+    sink(delivered, jobs[delivered], std::move(result));
+    if (submitted < jobs.size()) {
+      submit_one(submitted);
+      ++submitted;
+    }
   }
-  return results;
+  pool.wait();  // All delivered, so the pool is already idle.
 }
 
 unsigned jobs_from_flags(FlagParser& flags) {

@@ -43,6 +43,21 @@ class SweepRunner {
   /// (neither is thread-safe).
   std::vector<RunResult> run();
 
+  /// Per-cell result callback for run_streaming: the cell's submission
+  /// index, the job that produced it, and its result (moved in).
+  using ResultSink =
+      std::function<void(std::size_t index, const SweepJob& job,
+                         RunResult&& result)>;
+
+  /// Streaming variant of run(): delivers each result to `sink` in
+  /// submission order, on the calling thread, as soon as it (and every
+  /// earlier cell) completes. At most a small window of cells is in
+  /// flight or buffered at once, so arbitrarily large grids run in
+  /// bounded memory; completed-prefix delivery is what makes an output
+  /// log double as a crash-resume manifest. Results are bit-identical
+  /// to run() at any `jobs` value. Same tracer/observer rules as run().
+  void run_streaming(const ResultSink& sink);
+
   unsigned jobs() const { return jobs_; }
   std::size_t queued() const { return queue_.size(); }
 

@@ -1,6 +1,8 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
@@ -8,10 +10,14 @@
 
 namespace fmtcp::sim {
 
+namespace {
+constexpr SimTime kMaxDeadline = std::numeric_limits<SimTime>::max();
+}  // namespace
+
 void EventHandle::cancel() {
   if (!state_ || state_->cancelled || state_->fired) return;
   state_->cancelled = true;
-  if (state_->owner != nullptr) state_->owner->note_cancelled();
+  if (state_->owner != nullptr) state_->owner->note_cancelled(state_.get());
 }
 
 bool EventHandle::pending() const {
@@ -25,7 +31,17 @@ PendingEvent::operator EventHandle() const {
 Scheduler::~Scheduler() {
   // Handles may outlive the scheduler; sever the back-pointers so their
   // cancel() calls become no-ops instead of touching freed memory.
-  for (Entry& entry : heap_) {
+  for (auto& level : wheel_) {
+    for (auto& bucket : level) {
+      for (Entry& entry : bucket) {
+        if (entry.state) entry.state->owner = nullptr;
+      }
+    }
+  }
+  for (Entry& entry : run_queue_) {
+    if (entry.state) entry.state->owner = nullptr;
+  }
+  for (Entry& entry : overflow_) {
     if (entry.state) entry.state->owner = nullptr;
   }
 }
@@ -35,9 +51,39 @@ PendingEvent Scheduler::schedule_at(SimTime when, const char* tag,
   FMTCP_CHECK(when >= now_);
   FMTCP_CHECK(static_cast<bool>(fn));
   FMTCP_CHECK(tag != nullptr);
+  // User code only runs with the wheel cursor parked on the clock; the
+  // placement below relies on it.
+  FMTCP_DCHECK(cursor_ == now_);
   const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Entry{when, seq, tag, std::move(fn), nullptr});
-  sift_up(heap_.size() - 1);
+  if (recorder_ != nullptr) {
+    recorder_->on_schedule(current_firing_seq_, seq, when, tag);
+  }
+  if (run_active_ &&
+      (static_cast<std::uint64_t>(when) >> kBaseBits) == run_window_) {
+    // Newcomer inside the window being drained: the wheel slot for this
+    // window is already swapped out, so the run queue is the only place
+    // it can go. The entry itself is appended (entries never move); its
+    // index splices into the live part of the order. Its seq is the
+    // largest so far, so the slot is right before the first entry with
+    // a strictly later time.
+    const auto index = static_cast<std::uint32_t>(run_queue_.size());
+    run_queue_.push_back(Entry{when, seq, tag, std::move(fn), nullptr});
+    const auto pos = std::upper_bound(
+        run_order_.begin() + static_cast<std::ptrdiff_t>(run_head_),
+        run_order_.end(), when, [this](SimTime t, std::uint32_t i) {
+          return t < run_queue_[i].when;
+        });
+    run_order_.insert(pos, index);
+    last_where_ = kWhereRunQueue;
+    last_index_ = index;
+  } else {
+    const auto [where, index] =
+        place(Entry{when, seq, tag, std::move(fn), nullptr});
+    last_where_ = where;
+    last_index_ = index;
+  }
+  last_seq_ = seq;
+  ++size_;
   return PendingEvent(this, seq);
 }
 
@@ -47,64 +93,328 @@ PendingEvent Scheduler::schedule_in(SimTime delay, const char* tag,
   return schedule_at(now_ + delay, tag, std::move(fn));
 }
 
-void Scheduler::sift_up(std::size_t i) {
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!before(heap_[i], heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
-  }
-  last_push_index_ = i;
+std::uint64_t Scheduler::bucket_start(int level, std::size_t slot) const {
+  const int shift = kBaseBits + kSlotBits * (level + 1);
+  const std::uint64_t prefix =
+      (static_cast<std::uint64_t>(cursor_) >> shift) << shift;
+  return prefix | (static_cast<std::uint64_t>(slot)
+                   << (kBaseBits + kSlotBits * level));
 }
 
-void Scheduler::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
+std::pair<std::uint32_t, std::uint32_t> Scheduler::place(Entry&& entry) {
+  const std::uint64_t t = static_cast<std::uint64_t>(entry.when);
+  const std::uint64_t diff = t ^ static_cast<std::uint64_t>(cursor_);
+  if ((diff >> kWheelBits) != 0) {
+    // Beyond the wheel horizon: far-future overflow heap.
+    ++overflow_scheduled_;
+    if (entry.state) entry.state->where = kWhereOverflow;
+    overflow_.push_back(std::move(entry));
+    std::push_heap(overflow_.begin(), overflow_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return before(b, a);  // min-heap on (when, seq)
+                   });
+    return {kWhereOverflow, 0};
+  }
+  const int level =
+      (diff >> kBaseBits) == 0
+          ? 0
+          : (63 - std::countl_zero(diff) - kBaseBits) / kSlotBits;
+  const std::size_t slot =
+      (t >> (kBaseBits + kSlotBits * level)) & (kSlots - 1);
+  std::vector<Entry>& bucket = wheel_[level][slot];
+  const std::uint32_t where = where_of(level, slot);
+  const auto index = static_cast<std::uint32_t>(bucket.size());
+  if (entry.state) {
+    entry.state->where = where;
+    entry.state->index = index;
+  }
+  bucket.push_back(std::move(entry));
+  occupied_[level][slot >> 6] |= std::uint64_t{1} << (slot & 63);
+  return {where, index};
+}
+
+bool Scheduler::first_occupied(int level, std::size_t* slot) const {
+  const std::size_t from = cursor_slot(level);
+  std::size_t word = from >> 6;
+  std::uint64_t bits = occupied_[level][word] & (~std::uint64_t{0}
+                                                 << (from & 63));
   for (;;) {
-    const std::size_t left = 2 * i + 1;
-    if (left >= n) return;
-    std::size_t least = left;
-    const std::size_t right = left + 1;
-    if (right < n && before(heap_[right], heap_[left])) least = right;
-    if (!before(heap_[least], heap_[i])) return;
-    std::swap(heap_[i], heap_[least]);
-    i = least;
+    if (bits != 0) {
+      *slot = word * 64 +
+              static_cast<std::size_t>(std::countr_zero(bits));
+      return true;
+    }
+    if (++word == kBitmapWords) return false;
+    bits = occupied_[level][word];
   }
 }
 
-Scheduler::Entry Scheduler::pop_top() {
-  FMTCP_DCHECK(!heap_.empty());
-  Entry top = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-  return top;
+void Scheduler::cascade(int level, std::size_t slot) {
+  std::vector<Entry>& bucket = wheel_[level][slot];
+  FMTCP_DCHECK(!bucket.empty());
+  ++cascades_;
+  cascade_scratch_.swap(bucket);
+  occupied_[level][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  for (Entry& entry : cascade_scratch_) {
+    // Wheel buckets never hold cancelled entries (those are removed on
+    // cancel), and every entry lands at least one level lower because
+    // the cursor now shares its top (level+1) bytes.
+    FMTCP_DCHECK(!(entry.state && entry.state->cancelled));
+    place(std::move(entry));
+  }
+  cascade_scratch_.clear();
+}
+
+void Scheduler::reap_overflow_top() {
+  while (!overflow_.empty() && overflow_.front().state &&
+         overflow_.front().state->cancelled) {
+    std::pop_heap(overflow_.begin(), overflow_.end(),
+                  [](const Entry& a, const Entry& b) {
+                    return before(b, a);
+                  });
+    Entry dead = std::move(overflow_.back());
+    overflow_.pop_back();
+    FMTCP_DCHECK(overflow_cancelled_ > 0);
+    --overflow_cancelled_;
+    --size_;
+    dead.state->where = kWhereNone;
+    recycle_state(std::move(dead.state));
+  }
+}
+
+void Scheduler::refill_from_overflow() {
+  std::uint64_t moved = 0;
+  for (;;) {
+    reap_overflow_top();
+    if (overflow_.empty()) break;
+    const std::uint64_t diff =
+        static_cast<std::uint64_t>(overflow_.front().when) ^
+        static_cast<std::uint64_t>(cursor_);
+    if ((diff >> kWheelBits) != 0) break;
+    std::pop_heap(overflow_.begin(), overflow_.end(),
+                  [](const Entry& a, const Entry& b) {
+                    return before(b, a);
+                  });
+    Entry entry = std::move(overflow_.back());
+    overflow_.pop_back();
+    place(std::move(entry));
+    ++moved;
+  }
+  FMTCP_COUNT("sched.overflow.refill", moved);
+}
+
+bool Scheduler::build_run_queue(SimTime deadline) {
+  for (;;) {
+    reap_overflow_top();
+
+    // Candidate buckets: first occupied slot at or after the cursor per
+    // level. On equal starts the higher level must go first — it may
+    // still hold entries for the same timestamp that have to merge into
+    // the batch — so scan top-down and prefer strictly smaller starts.
+    int best_level = -1;
+    std::size_t best_slot = 0;
+    std::uint64_t best_start = ~std::uint64_t{0};
+    for (int level = kLevels - 1; level >= 0; --level) {
+      std::size_t slot = 0;
+      if (!first_occupied(level, &slot)) continue;
+      const std::uint64_t start = bucket_start(level, slot);
+      if (start < best_start) {
+        best_start = start;
+        best_level = level;
+        best_slot = slot;
+      }
+    }
+
+    // The overflow minimum joins the race on the same terms (ties also
+    // drain it first, for the same merge reason).
+    if (!overflow_.empty() &&
+        static_cast<std::uint64_t>(overflow_.front().when) <= best_start) {
+      const SimTime top_when = overflow_.front().when;
+      if (top_when > deadline) return false;
+      if (cursor_ < top_when) cursor_ = top_when;
+      refill_from_overflow();
+      continue;
+    }
+
+    if (best_level < 0) return false;  // Nothing queued anywhere.
+    if (best_start > static_cast<std::uint64_t>(deadline)) return false;
+    // A bucket's start can sit below the cursor (its low bytes are
+    // truncated); never move the cursor backwards.
+    if (static_cast<std::uint64_t>(cursor_) < best_start) {
+      cursor_ = static_cast<SimTime>(best_start);
+    }
+    if (best_level > 0) {
+      cascade(best_level, best_slot);
+      continue;
+    }
+
+    // A level-0 bucket holds one 2^kBaseBits-ns window: it becomes the
+    // run queue, sorted by (when, seq). Window starts are 2^kBaseBits
+    // apart, so every other bucket's events come strictly later and the
+    // local sort restores the exact global heap order.
+    std::vector<Entry>& bucket = wheel_[0][best_slot];
+    FMTCP_DCHECK(run_queue_.empty());
+    run_queue_.swap(bucket);
+    occupied_[0][best_slot >> 6] &=
+        ~(std::uint64_t{1} << (best_slot & 63));
+    run_order_.resize(run_queue_.size());
+    for (std::uint32_t i = 0; i < run_order_.size(); ++i) {
+      run_order_[i] = i;
+    }
+    std::sort(run_order_.begin(), run_order_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                return before(run_queue_[a], run_queue_[b]);
+              });
+    for (Entry& entry : run_queue_) {
+      if (entry.state) entry.state->where = kWhereRunQueue;
+    }
+    run_head_ = 0;
+    run_window_ = best_start >> kBaseBits;
+    run_active_ = true;
+    return true;
+  }
+}
+
+bool Scheduler::dispatch_one(SimTime deadline) {
+  for (;;) {
+    if (run_head_ < run_order_.size()) {
+      Entry& slot = run_queue_[run_order_[run_head_]];
+      // A window can straddle the deadline: leave the tail parked for
+      // the next slice (run_until's cursor clamp stops at the deadline,
+      // below every parked time, so placement stays consistent).
+      if (slot.when > deadline) return false;
+      ++run_head_;
+      Entry entry = std::move(slot);
+      // Moving leaves scalars behind; clobber the seq so handle lookups
+      // can never match an executed entry.
+      slot.seq = ~0ull;
+      if (entry.state) {
+        if (entry.state->cancelled) {
+          --size_;
+          entry.state->where = kWhereNone;
+          recycle_state(std::move(entry.state));
+          continue;
+        }
+        entry.state->fired = true;
+        entry.state->where = kWhereNone;
+      }
+      FMTCP_DCHECK(entry.when >= now_);
+      // Advance the cursor with the clock: the entry is the global
+      // minimum (other buckets start strictly later), so no pending
+      // event is left behind it, and schedule_at's cursor == now
+      // invariant holds inside the callback.
+      now_ = entry.when;
+      cursor_ = entry.when;
+      --size_;
+      ++executed_;
+      if (profiling_) note_executed(entry.tag);
+      recycle_state(std::move(entry.state));
+      const std::uint64_t parent = current_firing_seq_;
+      current_firing_seq_ = entry.seq;
+      entry.fn();
+      current_firing_seq_ = parent;
+      return true;
+    }
+    if (run_active_) {
+      run_queue_.clear();
+      run_order_.clear();
+      run_head_ = 0;
+      run_active_ = false;
+    }
+    if (!build_run_queue(deadline)) return false;
+  }
 }
 
 EventHandle Scheduler::make_handle(std::uint64_t seq) {
   Entry* entry = nullptr;
-  if (last_push_index_ < heap_.size() &&
-      heap_[last_push_index_].seq == seq) {
-    entry = &heap_[last_push_index_];
-  } else {
+  std::uint32_t where = kWhereNone;
+  std::uint32_t index = 0;
+  if (seq == last_seq_) {
     // The conversion normally happens in the statement that scheduled
-    // the event, before any other heap operation; fall back to a scan if
-    // a future caller holds the proxy across other scheduling.
-    for (Entry& e : heap_) {
-      if (e.seq == seq) {
-        entry = &e;
-        break;
+    // the event, before any other scheduler operation, so the push hint
+    // is valid; the seq check rejects a stale hint.
+    if (last_where_ == kWhereRunQueue) {
+      // Executed entries have a clobbered seq, so a stale hint into the
+      // drained prefix cannot match.
+      if (last_index_ < run_queue_.size() &&
+          run_queue_[last_index_].seq == seq) {
+        entry = &run_queue_[last_index_];
+        where = kWhereRunQueue;
+        index = last_index_;
+      }
+    } else if (last_where_ < kLevels * kSlots) {
+      std::vector<Entry>& bucket =
+          wheel_[last_where_ / kSlots][last_where_ % kSlots];
+      if (last_index_ < bucket.size() &&
+          bucket[last_index_].seq == seq) {
+        entry = &bucket[last_index_];
+        where = last_where_;
+        index = last_index_;
+      }
+    }
+    // Overflow pushes sift, so the hint records no index; the overflow
+    // scan below finds them.
+  }
+  if (entry == nullptr) {
+    for (std::size_t i = run_head_; i < run_order_.size() && !entry; ++i) {
+      Entry& candidate = run_queue_[run_order_[i]];
+      if (candidate.seq == seq) {
+        entry = &candidate;
+        where = kWhereRunQueue;
+        index = run_order_[i];
+      }
+    }
+    for (int level = 0; level < kLevels && !entry; ++level) {
+      for (std::size_t slot = 0; slot < kSlots && !entry; ++slot) {
+        std::vector<Entry>& bucket = wheel_[level][slot];
+        for (std::size_t i = 0; i < bucket.size(); ++i) {
+          if (bucket[i].seq == seq) {
+            entry = &bucket[i];
+            where = where_of(level, slot);
+            index = static_cast<std::uint32_t>(i);
+            break;
+          }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < overflow_.size() && !entry; ++i) {
+      if (overflow_[i].seq == seq) {
+        entry = &overflow_[i];
+        where = kWhereOverflow;
       }
     }
   }
   if (entry == nullptr) return EventHandle();  // Already executed.
   if (!entry->state) {
     entry->state = acquire_state();
+    entry->state->seq = seq;
+    entry->state->where = where;
+    entry->state->index = index;
   }
   ++handles_created_;
+  if (recorder_ != nullptr) {
+    recorder_->on_handle(current_firing_seq_, seq);
+  }
   return EventHandle(entry->state);
 }
 
 std::shared_ptr<EventHandle::State> Scheduler::acquire_state() {
+  if (state_pool_.empty() && !retired_states_.empty()) {
+    // Sweep retirees whose handles have all died back into the pool. If
+    // the sweep reclaims nothing (every retiree still has a live
+    // handle), drop them instead of rescanning forever — their blocks
+    // free when the handles do, they just stop being poolable.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < retired_states_.size(); ++i) {
+      if (retired_states_[i].use_count() == 1) {
+        state_pool_.push_back(std::move(retired_states_[i]));
+        continue;
+      }
+      if (kept != i) retired_states_[kept] = std::move(retired_states_[i]);
+      ++kept;
+    }
+    retired_states_.resize(state_pool_.empty() ? 0 : kept);
+  }
   if (!state_pool_.empty()) {
     std::shared_ptr<EventHandle::State> state =
         std::move(state_pool_.back());
@@ -124,43 +434,79 @@ void Scheduler::recycle_state(
     std::shared_ptr<EventHandle::State>&& state) {
   if (!state) return;
   state->owner = nullptr;
-  // Recycle only when the queue held the last reference; a live handle
-  // keeps the block until it is itself destroyed (outlive-safety).
+  // Recycle directly when the queue held the last reference; with a
+  // live handle still out there, park the block in the retired list
+  // until the handle dies (outlive-safety: flags stay frozen meanwhile).
   if (state.use_count() == 1) {
     state_pool_.push_back(std::move(state));
   } else {
-    state.reset();
+    retired_states_.push_back(std::move(state));
   }
 }
 
-void Scheduler::note_cancelled() {
-  ++cancelled_in_queue_;
-  if (heap_.size() >= kCompactMinQueue &&
-      cancelled_in_queue_ > heap_.size() / 2) {
-    compact();
+void Scheduler::note_cancelled(EventHandle::State* state) {
+  if (recorder_ != nullptr) {
+    recorder_->on_cancel(current_firing_seq_, state->seq);
   }
+  if (state->where == kWhereRunQueue) {
+    // The dispatch loop reaps it (skipped, not executed).
+    return;
+  }
+  if (state->where == kWhereOverflow) {
+    ++overflow_cancelled_;
+    if (overflow_.size() >= kCompactMinOverflow &&
+        overflow_cancelled_ > overflow_.size() / 2) {
+      compact_overflow();
+    }
+    return;
+  }
+  FMTCP_DCHECK(state->where < kLevels * kSlots);
+  // Wheel entry: swap-remove in place. Bucket order never affects
+  // dispatch order (level-0 batches are seq-sorted), so this is O(1).
+  std::vector<Entry>& bucket =
+      wheel_[state->where / kSlots][state->where % kSlots];
+  const std::size_t slot = state->where % kSlots;
+  const int level = static_cast<int>(state->where / kSlots);
+  const std::size_t index = state->index;
+  FMTCP_DCHECK(index < bucket.size() && bucket[index].seq == state->seq);
+  Entry removed = std::move(bucket[index]);
+  if (index + 1 != bucket.size()) {
+    bucket[index] = std::move(bucket.back());
+    if (bucket[index].state) {
+      bucket[index].state->index = static_cast<std::uint32_t>(index);
+    }
+  }
+  bucket.pop_back();
+  if (bucket.empty()) {
+    occupied_[level][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  }
+  --size_;
+  ++cancelled_removed_;
+  removed.state->where = kWhereNone;
+  recycle_state(std::move(removed.state));
+  // `removed.fn` (and whatever it captured) is destroyed here, after the
+  // wheel is consistent again — its destructor may itself cancel events.
 }
 
-void Scheduler::compact() {
-  FMTCP_SPAN_ARG("sched.compact", heap_.size());
-  ++compactions_;
+void Scheduler::compact_overflow() {
+  FMTCP_SPAN_ARG("sched.compact", overflow_.size());
   std::size_t kept = 0;
-  for (std::size_t i = 0; i < heap_.size(); ++i) {
-    if (heap_[i].state && heap_[i].state->cancelled) {
-      recycle_state(std::move(heap_[i].state));
+  for (std::size_t i = 0; i < overflow_.size(); ++i) {
+    if (overflow_[i].state && overflow_[i].state->cancelled) {
+      overflow_[i].state->where = kWhereNone;
+      recycle_state(std::move(overflow_[i].state));
       continue;
     }
-    if (kept != i) heap_[kept] = std::move(heap_[i]);
+    if (kept != i) overflow_[kept] = std::move(overflow_[i]);
     ++kept;
   }
-  heap_.resize(kept);
-  cancelled_in_queue_ = 0;
-  std::make_heap(heap_.begin(), heap_.end(),
+  size_ -= overflow_.size() - kept;
+  overflow_.resize(kept);
+  overflow_cancelled_ = 0;
+  std::make_heap(overflow_.begin(), overflow_.end(),
                  [](const Entry& a, const Entry& b) {
-                   return before(b, a);  // make_heap wants "less" = later.
+                   return before(b, a);
                  });
-  // The heap moved under the push hint; invalidate it.
-  last_push_index_ = heap_.size();
 }
 
 void Scheduler::note_executed(const char* tag) {
@@ -183,52 +529,22 @@ Scheduler::dispatch_profile() const {
   return out;
 }
 
-bool Scheduler::step() {
-  while (!heap_.empty()) {
-    Entry entry = pop_top();
-    if (entry.state) {
-      if (entry.state->cancelled) {
-        FMTCP_DCHECK(cancelled_in_queue_ > 0);
-        --cancelled_in_queue_;
-        recycle_state(std::move(entry.state));
-        continue;
-      }
-      entry.state->fired = true;
-    }
-    FMTCP_DCHECK(entry.when >= now_);
-    now_ = entry.when;
-    ++executed_;
-    if (profiling_) note_executed(entry.tag);
-    recycle_state(std::move(entry.state));
-    entry.fn();
-    return true;
-  }
-  return false;
-}
+bool Scheduler::step() { return dispatch_one(kMaxDeadline); }
 
 void Scheduler::run_until(SimTime deadline) {
   FMTCP_CHECK(deadline >= now_);
   // Records events executed in this slice as the span argument.
   obs::trace::SpanScope span("sched.run_until");
   const std::uint64_t executed_before = executed_;
-  while (!heap_.empty()) {
-    const Entry& top = heap_.front();
-    if (top.state && top.state->cancelled) {
-      Entry dead = pop_top();
-      FMTCP_DCHECK(cancelled_in_queue_ > 0);
-      --cancelled_in_queue_;
-      recycle_state(std::move(dead.state));
-      continue;
-    }
-    if (top.when > deadline) break;
-    step();
+  while (dispatch_one(deadline)) {
   }
   now_ = deadline;
+  if (cursor_ < now_) cursor_ = now_;
   span.set_arg(executed_ - executed_before);
 }
 
 void Scheduler::run() {
-  while (step()) {
+  while (dispatch_one(kMaxDeadline)) {
   }
 }
 

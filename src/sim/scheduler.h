@@ -1,10 +1,24 @@
 // Discrete-event scheduler: the core of the ns-2 substitute.
 //
 // Events are (time, callback) pairs ordered by time with FIFO tie-breaking
-// (insertion sequence), which makes runs fully deterministic. Cancellation
-// is lazy: a cancelled event stays in the heap but its callback is skipped;
-// when lazily-cancelled entries exceed half the queue the heap is compacted
-// in one pass so pathological cancel/re-arm churn cannot grow it unboundedly.
+// (insertion sequence), which makes runs fully deterministic. The event
+// queue is a hierarchical timer wheel (Varghese/Lauck) with a calendar-
+// queue base: level-0 slots span 2^26 ns (~67 ms) each, and 3 byte-wide
+// levels above them cover a 2^50 ns (~13 simulated days) horizon relative
+// to an internal cursor. The coarse base granularity is what makes the
+// wheel fast for protocol timers: service-time and RTT/RTO-scale events
+// all land directly in level 0, instead of trickling through several
+// levels as they would with nanosecond slots. The rare event beyond the
+// horizon goes to a small min-heap overflow. A level-0 bucket holds every
+// event inside its 67 ms window; dispatch orders it by (when, seq) into a
+// run queue — bucket windows are disjoint, so ordering each bucket
+// locally keeps the global (when, seq) FIFO contract — and therefore
+// every simulation result — identical to a binary heap.
+//
+// Cancellation is O(1): wheel entries are swap-removed in place via
+// location back-pointers in the handle control block (bucket order never
+// affects dispatch order, so swap-remove is safe); entries already in the
+// current run queue or in the overflow heap are flagged and skipped.
 //
 // Hot-path design: an event only gets a cancellation control block when the
 // caller actually keeps the returned handle — `schedule_*` returns a
@@ -27,6 +41,22 @@ namespace fmtcp::sim {
 
 class Scheduler;
 
+/// Observes every scheduler operation with its causal context (the seq of
+/// the event whose callback performed it, or kNoParent for operations made
+/// outside dispatch). bench_sim_micro uses this to record a real cell's
+/// operation trace and replay it against scheduler implementations with
+/// no-op callbacks — a pure event-core throughput measurement.
+class SchedulerOpRecorder {
+ public:
+  static constexpr std::uint64_t kNoParent = ~0ull;
+  virtual ~SchedulerOpRecorder() = default;
+  virtual void on_schedule(std::uint64_t parent_seq, std::uint64_t seq,
+                           SimTime when, const char* tag) = 0;
+  virtual void on_handle(std::uint64_t parent_seq, std::uint64_t seq) = 0;
+  virtual void on_cancel(std::uint64_t parent_seq,
+                         std::uint64_t target_seq) = 0;
+};
+
 /// Handle for cancelling a scheduled event. Cheap to copy; outliving the
 /// scheduler is safe (cancel becomes a no-op).
 class EventHandle {
@@ -47,6 +77,13 @@ class EventHandle {
     /// Owning scheduler, for cancellation bookkeeping; nulled when the
     /// event fires, is reaped, or the scheduler dies first.
     Scheduler* owner = nullptr;
+    /// Where the queued entry currently lives (wheel bucket id, run
+    /// queue, or overflow heap) and its index within a wheel bucket —
+    /// maintained by the scheduler so cancel can remove it in O(1).
+    std::uint32_t where = 0;
+    std::uint32_t index = 0;
+    /// The entry's insertion sequence (cancel reporting/diagnostics).
+    std::uint64_t seq = 0;
   };
   explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
   std::shared_ptr<State> state_;
@@ -73,9 +110,13 @@ class PendingEvent {
   std::uint64_t seq_;
 };
 
-/// Min-heap event queue with a monotonically advancing clock.
+/// Hierarchical timer-wheel event queue with a monotonically advancing
+/// clock. Not re-entrant: callbacks must not call step()/run*() on the
+/// scheduler that is dispatching them (they schedule/cancel freely).
 class Scheduler {
  public:
+  using handle_type = EventHandle;
+
   Scheduler() = default;
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
@@ -107,8 +148,8 @@ class Scheduler {
   bool step();
 
   /// Runs events until the queue is empty or now() would exceed `deadline`;
-  /// leaves now() at min(deadline, last event time). Events scheduled
-  /// exactly at `deadline` are executed.
+  /// leaves now() at `deadline`. Events scheduled exactly at `deadline`
+  /// are executed.
   void run_until(SimTime deadline);
 
   /// Runs until the queue drains completely.
@@ -117,8 +158,10 @@ class Scheduler {
   /// Number of events executed so far (diagnostics).
   std::uint64_t executed_count() const { return executed_; }
 
-  /// Events currently queued, including lazily-cancelled ones.
-  std::size_t queued_count() const { return heap_.size(); }
+  /// Events currently queued, including lazily-cancelled ones (entries
+  /// flagged in the run queue or overflow heap but not yet reaped; a
+  /// cancelled wheel entry is removed immediately and never counted).
+  std::size_t queued_count() const { return size_; }
 
   /// Enables per-tag dispatch profiling. Off by default so the common
   /// no-observer run pays nothing per dispatch; harness::run_scenario
@@ -126,29 +169,59 @@ class Scheduler {
   void set_profiling(bool on) { profiling_ = on; }
   bool profiling() const { return profiling_; }
 
+  /// Attaches an operation recorder (null to detach). Recording is a
+  /// diagnostic/bench facility; the null check is the only hot-path cost
+  /// when detached.
+  void set_op_recorder(SchedulerOpRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
   /// Executed-event counts per schedule tag (event-loop profiling).
   /// Empty unless set_profiling(true) was active during the run.
   std::vector<std::pair<std::string, std::uint64_t>> dispatch_profile()
       const;
 
-  // --- Control-block pool diagnostics (tests / benches) ---
+  // --- Wheel / control-block diagnostics (tests / benches) ---
 
   /// Handles materialised since construction.
   std::uint64_t handles_created() const { return handles_created_; }
   /// Handle control blocks served from the free list (not allocated).
   std::uint64_t handle_states_reused() const { return states_reused_; }
-  /// Lazily-cancelled entries currently in the heap.
-  std::size_t cancelled_in_queue() const { return cancelled_in_queue_; }
-  /// Times the heap was compacted to drop cancelled entries.
-  std::uint64_t compactions() const { return compactions_; }
+  /// Cancelled entries removed from wheel buckets in O(1).
+  std::uint64_t cancelled_removed() const { return cancelled_removed_; }
+  /// Bucket cascades (higher-level bucket redistributed downwards).
+  std::uint64_t cascades() const { return cascades_; }
+  /// Events that went to the far-future overflow heap on placement.
+  std::uint64_t overflow_scheduled() const { return overflow_scheduled_; }
 
  private:
   friend class EventHandle;
   friend class PendingEvent;
 
   static constexpr const char* kDefaultTag = "event";
-  /// Below this queue size compaction is never worth the pass.
-  static constexpr std::size_t kCompactMinQueue = 64;
+
+  // Level-0 slots are 2^kBaseBits ns wide (the calendar-queue grain);
+  // kLevels byte-wide levels above them take the wheel to a
+  // [cursor, cursor + 2^kWheelBits) ns horizon. A level-0 bucket holds
+  // every pending event inside its window and is (when, seq)-sorted at
+  // dispatch; windows are disjoint, so local sorting preserves the
+  // global FIFO order.
+  static constexpr int kBaseBits = 26;
+  static constexpr int kSlotBits = 8;
+  static constexpr std::size_t kSlots = std::size_t{1} << kSlotBits;
+  static constexpr int kLevels = 3;
+  static constexpr int kWheelBits = kBaseBits + kSlotBits * kLevels;
+  static constexpr std::size_t kBitmapWords = kSlots / 64;
+
+  // EventHandle::State::where encoding: a wheel bucket id
+  // (level * kSlots + slot) or one of the sentinels below.
+  static constexpr std::uint32_t kWhereRunQueue = 0xffffffffu;
+  static constexpr std::uint32_t kWhereOverflow = 0xfffffffeu;
+  static constexpr std::uint32_t kWhereNone = 0xfffffffdu;
+
+  /// Overflow compaction threshold (same policy the old heap used for
+  /// its whole queue; here it only ever applies to far-future entries).
+  static constexpr std::size_t kCompactMinOverflow = 64;
 
   struct Entry {
     SimTime when;
@@ -165,41 +238,123 @@ class Scheduler {
     return a.seq < b.seq;
   }
 
+  static std::uint32_t where_of(int level, std::size_t slot) {
+    return static_cast<std::uint32_t>(level) * kSlots +
+           static_cast<std::uint32_t>(slot);
+  }
+
+  std::size_t cursor_slot(int level) const {
+    return (static_cast<std::uint64_t>(cursor_) >>
+            (kBaseBits + kSlotBits * level)) &
+           (kSlots - 1);
+  }
+
+  /// Smallest time a bucket at (level, slot) can hold, given the cursor:
+  /// every entry in it shares the cursor's bits above the level.
+  std::uint64_t bucket_start(int level, std::size_t slot) const;
+
+  /// Places an entry into the wheel (or overflow) relative to cursor_.
+  /// Returns the location for the push hint.
+  std::pair<std::uint32_t, std::uint32_t> place(Entry&& entry);
+  /// Redistributes bucket (level, slot) to lower levels after advancing
+  /// cursor_ to its start.
+  void cascade(int level, std::size_t slot);
+  /// Moves in-horizon overflow entries into the wheel (cursor_ already
+  /// advanced to the overflow minimum).
+  void refill_from_overflow();
+  /// Drops lazily-cancelled entries from the overflow heap top.
+  void reap_overflow_top();
+  /// Earliest occupied slot >= cursor position at `level`; false if none.
+  bool first_occupied(int level, std::size_t* slot) const;
+
+  /// Advances cursor_ and loads the earliest pending window's events into
+  /// the run queue (sorted by (when, seq)). Returns false when the queue
+  /// is empty or the window starts beyond `deadline` (cursor_ never
+  /// passes it).
+  bool build_run_queue(SimTime deadline);
+  /// Runs the next non-cancelled event at or before `deadline`. Events
+  /// past `deadline` stay parked in the run queue for the next slice.
+  bool dispatch_one(SimTime deadline);
+
   void note_executed(const char* tag);
-  void sift_up(std::size_t i);
-  void sift_down(std::size_t i);
-  /// Removes and returns the earliest entry; heap must be non-empty.
-  Entry pop_top();
   /// Materialises (or returns the existing) control block for `seq`.
   EventHandle make_handle(std::uint64_t seq);
   std::shared_ptr<EventHandle::State> acquire_state();
   /// Returns a state to the free list if no handle still references it.
   void recycle_state(std::shared_ptr<EventHandle::State>&& state);
   /// Called via EventHandle::cancel for events still queued here.
-  void note_cancelled();
-  /// Drops every lazily-cancelled entry and restores the heap property.
-  void compact();
+  void note_cancelled(EventHandle::State* state);
+  /// Rebuilds the overflow heap without its cancelled entries.
+  void compact_overflow();
 
   SimTime now_ = 0;
+  /// Wheel reference time: now_ <= cursor_ <= every pending event (and
+  /// cursor_ == now_ whenever control is outside the dispatch loop).
+  /// Placement levels are computed against it.
+  SimTime cursor_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  /// Live + lazily-cancelled entries across wheel, run queue, overflow.
+  std::size_t size_ = 0;
   bool profiling_ = false;
   /// Per-tag executed counts, keyed by tag pointer (string literals);
   /// a handful of entries, scanned linearly on each profiled dispatch.
   std::vector<std::pair<const char*, std::uint64_t>> executed_by_tag_;
 
-  /// Binary min-heap ordered by `before`.
-  std::vector<Entry> heap_;
-  /// Where the most recent push landed, so PendingEvent -> EventHandle
-  /// conversion finds its entry in O(1) (it happens before any other
-  /// heap operation; a linear scan backstops the assumption).
-  std::size_t last_push_index_ = 0;
+  /// wheel_[level][slot]: unordered bucket of entries; occupancy bitmaps
+  /// make the next-bucket scan a few word operations per level.
+  std::vector<Entry> wheel_[kLevels][kSlots];
+  std::uint64_t occupied_[kLevels][kBitmapWords] = {};
+
+  /// The current window's events. Entries never move once here; the
+  /// dispatch order lives in run_order_ (indices into run_queue_, sorted
+  /// by (when, seq)), so ordering shuffles 4-byte indices instead of
+  /// ~100-byte entries. Entries scheduled inside the window while it
+  /// drains are appended here and their index splice-inserted at its
+  /// ordered position past run_head_ (their seq is the largest so far,
+  /// so the slot is right before the first strictly-later time). An
+  /// executed entry's seq is clobbered so stale lookups cannot match it.
+  std::vector<Entry> run_queue_;
+  std::vector<std::uint32_t> run_order_;
+  /// Position in run_order_ of the next entry to dispatch.
+  std::size_t run_head_ = 0;
+  /// High bits (when >> kBaseBits) of the window being drained; only
+  /// meaningful while run_active_.
+  std::uint64_t run_window_ = 0;
+  bool run_active_ = false;
+
+  /// Far-future events (>= 2^kWheelBits ns past the cursor): min-heap on
+  /// (when, seq), lazily cancelled.
+  std::vector<Entry> overflow_;
+  std::size_t overflow_cancelled_ = 0;
+  /// Scratch for cascades (capacity reuse).
+  std::vector<Entry> cascade_scratch_;
+
+  /// Where the most recent schedule landed, so PendingEvent ->
+  /// EventHandle conversion finds its entry in O(1) (the conversion
+  /// happens in the scheduling statement; a scan backstops the
+  /// assumption).
+  std::uint64_t last_seq_ = ~0ull;
+  std::uint32_t last_where_ = kWhereNone;
+  std::uint32_t last_index_ = 0;
+
+  SchedulerOpRecorder* recorder_ = nullptr;
+  /// Seq of the event whose callback is currently running (recorder
+  /// context), or SchedulerOpRecorder::kNoParent outside dispatch.
+  std::uint64_t current_firing_seq_ = SchedulerOpRecorder::kNoParent;
 
   std::vector<std::shared_ptr<EventHandle::State>> state_pool_;
-  std::size_t cancelled_in_queue_ = 0;
+  /// Control blocks whose queue entry is gone but whose handle was still
+  /// alive when it left the queue (e.g. cancel removes the wheel entry
+  /// while the cancelling handle exists). acquire_state() sweeps these
+  /// back into the pool once the last handle drops; without the parking
+  /// spot the Timer cancel/re-arm pattern would allocate every cycle.
+  std::vector<std::shared_ptr<EventHandle::State>> retired_states_;
   std::uint64_t handles_created_ = 0;
   std::uint64_t states_reused_ = 0;
-  std::uint64_t compactions_ = 0;
+  std::uint64_t cancelled_removed_ = 0;
+  std::uint64_t cascades_ = 0;
+  std::uint64_t overflow_scheduled_ = 0;
 };
 
 }  // namespace fmtcp::sim

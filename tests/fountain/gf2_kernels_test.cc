@@ -173,8 +173,8 @@ TEST_P(KernelEquivalence, ReduceRowMatchesScalar) {
 INSTANTIATE_TEST_SUITE_P(
     AllAvailable, KernelEquivalence,
     ::testing::ValuesIn(gf2_available_kernels()),
-    [](const ::testing::TestParamInfo<const Gf2KernelOps*>& info) {
-      return std::string(info.param->name);
+    [](const ::testing::TestParamInfo<const Gf2KernelOps*>& param_info) {
+      return std::string(param_info.param->name);
     });
 
 TEST(KernelDispatch, AvailableKernelsStartWithScalarAndHaveUniqueNames) {

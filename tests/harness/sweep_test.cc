@@ -106,6 +106,76 @@ TEST(SweepRunner, EmptyRun) {
   EXPECT_TRUE(runner.run().empty());
 }
 
+TEST(SweepRunner, StreamingDeliversInSubmissionOrder) {
+  // More cells than the in-flight window (2*jobs) so the windowed
+  // submit/deliver pipeline wraps its slots several times.
+  const auto run_with_jobs = [](unsigned jobs) {
+    SweepRunner runner(jobs);
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      Scenario scenario = short_scenario();
+      scenario.duration = 2 * kSecond;
+      scenario.seed = seed;
+      runner.submit(Protocol::kFmtcp, scenario,
+                    ProtocolOptions::defaults());
+    }
+    std::vector<std::size_t> indices;
+    std::vector<RunResult> results;
+    runner.run_streaming(
+        [&](std::size_t i, const SweepJob& job, RunResult&& r) {
+          EXPECT_EQ(job.scenario.seed, i + 1);
+          indices.push_back(i);
+          results.push_back(std::move(r));
+        });
+    EXPECT_EQ(runner.queued(), 0u);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      EXPECT_EQ(indices[i], i);
+    }
+    return results;
+  };
+
+  const std::vector<RunResult> serial = run_with_jobs(1);
+  const std::vector<RunResult> pooled = run_with_jobs(3);
+  ASSERT_EQ(serial.size(), 12u);
+  ASSERT_EQ(pooled.size(), 12u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], pooled[i], "streaming jobs=3 vs jobs=1");
+  }
+}
+
+TEST(SweepRunner, StreamingMatchesRun) {
+  const auto make = [] {
+    SweepRunner runner(2);
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      Scenario scenario = short_scenario();
+      scenario.duration = 2 * kSecond;
+      scenario.seed = seed;
+      runner.submit(Protocol::kFmtcp, scenario,
+                    ProtocolOptions::defaults());
+    }
+    return runner;
+  };
+  SweepRunner batch = make();
+  const std::vector<RunResult> collected = batch.run();
+  SweepRunner streaming = make();
+  std::vector<RunResult> streamed;
+  streaming.run_streaming(
+      [&](std::size_t, const SweepJob&, RunResult&& r) {
+        streamed.push_back(std::move(r));
+      });
+  ASSERT_EQ(collected.size(), streamed.size());
+  for (std::size_t i = 0; i < collected.size(); ++i) {
+    expect_identical(collected[i], streamed[i], "run() vs run_streaming()");
+  }
+}
+
+TEST(SweepRunner, StreamingEmpty) {
+  SweepRunner runner(4);
+  bool called = false;
+  runner.run_streaming(
+      [&](std::size_t, const SweepJob&, RunResult&&) { called = true; });
+  EXPECT_FALSE(called);
+}
+
 TEST(Sweep, ParallelMatchesSerial) {
   std::vector<SweepJob> jobs;
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {

@@ -1,0 +1,303 @@
+// The seed binary-heap scheduler, frozen as a reference implementation.
+//
+// This is the pre-timer-wheel sim::Scheduler, byte-for-byte in behaviour:
+// binary min-heap on (when, seq), lazy cancellation with half-queue
+// compaction, pooled handle control blocks, push-hint PendingEvent
+// materialisation. Two consumers keep it alive:
+//   - tests/sim/scheduler_equivalence_test.cc drives it and the wheel
+//     with identical randomized operation traces and asserts identical
+//     dispatch order, clocks, and handle states;
+//   - bench/bench_sim_micro.cc replays recorded cell traces into both to
+//     measure the wheel's events/sec speedup (BENCH_sched.json).
+// The only deliberate delta from the seed: trace spans are dropped so
+// the header has no obs/ dependency (they were no-ops in these uses).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+#include "common/unique_function.h"
+
+namespace fmtcp::sim {
+
+class HeapScheduler;
+
+/// Handle for cancelling a scheduled event (reference-heap flavour).
+class HeapEventHandle {
+ public:
+  HeapEventHandle() = default;
+
+  void cancel();
+  bool pending() const {
+    return state_ && !state_->cancelled && !state_->fired;
+  }
+
+ private:
+  friend class HeapScheduler;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+    HeapScheduler* owner = nullptr;
+  };
+  explicit HeapEventHandle(std::shared_ptr<State> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Deferred handle materialisation, as in the seed scheduler.
+class HeapPendingEvent {
+ public:
+  HeapPendingEvent(const HeapPendingEvent&) = delete;
+  HeapPendingEvent& operator=(const HeapPendingEvent&) = delete;
+
+  operator HeapEventHandle() const;  // NOLINT(google-explicit-constructor)
+
+ private:
+  friend class HeapScheduler;
+  HeapPendingEvent(HeapScheduler* scheduler, std::uint64_t seq)
+      : scheduler_(scheduler), seq_(seq) {}
+  HeapScheduler* scheduler_;
+  std::uint64_t seq_;
+};
+
+/// Min-heap event queue with a monotonically advancing clock.
+class HeapScheduler {
+ public:
+  using handle_type = HeapEventHandle;
+
+  HeapScheduler() = default;
+  ~HeapScheduler() {
+    for (Entry& entry : heap_) {
+      if (entry.state) entry.state->owner = nullptr;
+    }
+  }
+  HeapScheduler(const HeapScheduler&) = delete;
+  HeapScheduler& operator=(const HeapScheduler&) = delete;
+
+  SimTime now() const { return now_; }
+
+  HeapPendingEvent schedule_at(SimTime when, UniqueFunction fn) {
+    return schedule_at(when, kDefaultTag, std::move(fn));
+  }
+  HeapPendingEvent schedule_at(SimTime when, const char* tag,
+                               UniqueFunction fn) {
+    FMTCP_CHECK(when >= now_);
+    FMTCP_CHECK(static_cast<bool>(fn));
+    FMTCP_CHECK(tag != nullptr);
+    const std::uint64_t seq = next_seq_++;
+    heap_.push_back(Entry{when, seq, tag, std::move(fn), nullptr});
+    sift_up(heap_.size() - 1);
+    return HeapPendingEvent(this, seq);
+  }
+
+  HeapPendingEvent schedule_in(SimTime delay, UniqueFunction fn) {
+    return schedule_in(delay, kDefaultTag, std::move(fn));
+  }
+  HeapPendingEvent schedule_in(SimTime delay, const char* tag,
+                               UniqueFunction fn) {
+    FMTCP_CHECK(delay >= 0);
+    return schedule_at(now_ + delay, tag, std::move(fn));
+  }
+
+  bool step() {
+    while (!heap_.empty()) {
+      Entry entry = pop_top();
+      if (entry.state) {
+        if (entry.state->cancelled) {
+          FMTCP_DCHECK(cancelled_in_queue_ > 0);
+          --cancelled_in_queue_;
+          recycle_state(std::move(entry.state));
+          continue;
+        }
+        entry.state->fired = true;
+      }
+      FMTCP_DCHECK(entry.when >= now_);
+      now_ = entry.when;
+      ++executed_;
+      recycle_state(std::move(entry.state));
+      entry.fn();
+      return true;
+    }
+    return false;
+  }
+
+  void run_until(SimTime deadline) {
+    FMTCP_CHECK(deadline >= now_);
+    while (!heap_.empty()) {
+      const Entry& top = heap_.front();
+      if (top.state && top.state->cancelled) {
+        Entry dead = pop_top();
+        FMTCP_DCHECK(cancelled_in_queue_ > 0);
+        --cancelled_in_queue_;
+        recycle_state(std::move(dead.state));
+        continue;
+      }
+      if (top.when > deadline) break;
+      step();
+    }
+    now_ = deadline;
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+  std::uint64_t executed_count() const { return executed_; }
+  std::size_t queued_count() const { return heap_.size(); }
+  std::uint64_t handles_created() const { return handles_created_; }
+  std::uint64_t compactions() const { return compactions_; }
+
+ private:
+  friend class HeapEventHandle;
+  friend class HeapPendingEvent;
+
+  static constexpr const char* kDefaultTag = "event";
+  static constexpr std::size_t kCompactMinQueue = 64;
+
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    const char* tag;
+    UniqueFunction fn;
+    std::shared_ptr<HeapEventHandle::State> state;
+  };
+
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+    last_push_index_ = i;
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t left = 2 * i + 1;
+      if (left >= n) return;
+      std::size_t least = left;
+      const std::size_t right = left + 1;
+      if (right < n && before(heap_[right], heap_[left])) least = right;
+      if (!before(heap_[least], heap_[i])) return;
+      std::swap(heap_[i], heap_[least]);
+      i = least;
+    }
+  }
+
+  Entry pop_top() {
+    FMTCP_DCHECK(!heap_.empty());
+    Entry top = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return top;
+  }
+
+  HeapEventHandle make_handle(std::uint64_t seq) {
+    Entry* entry = nullptr;
+    if (last_push_index_ < heap_.size() &&
+        heap_[last_push_index_].seq == seq) {
+      entry = &heap_[last_push_index_];
+    } else {
+      for (Entry& e : heap_) {
+        if (e.seq == seq) {
+          entry = &e;
+          break;
+        }
+      }
+    }
+    if (entry == nullptr) return HeapEventHandle();  // Already executed.
+    if (!entry->state) entry->state = acquire_state();
+    ++handles_created_;
+    return HeapEventHandle(entry->state);
+  }
+
+  std::shared_ptr<HeapEventHandle::State> acquire_state() {
+    if (!state_pool_.empty()) {
+      std::shared_ptr<HeapEventHandle::State> state =
+          std::move(state_pool_.back());
+      state_pool_.pop_back();
+      state->cancelled = false;
+      state->fired = false;
+      state->owner = this;
+      return state;
+    }
+    auto state = std::make_shared<HeapEventHandle::State>();
+    state->owner = this;
+    return state;
+  }
+
+  void recycle_state(std::shared_ptr<HeapEventHandle::State>&& state) {
+    if (!state) return;
+    state->owner = nullptr;
+    if (state.use_count() == 1) {
+      state_pool_.push_back(std::move(state));
+    } else {
+      state.reset();
+    }
+  }
+
+  void note_cancelled() {
+    ++cancelled_in_queue_;
+    if (heap_.size() >= kCompactMinQueue &&
+        cancelled_in_queue_ > heap_.size() / 2) {
+      compact();
+    }
+  }
+
+  void compact() {
+    ++compactions_;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      if (heap_[i].state && heap_[i].state->cancelled) {
+        recycle_state(std::move(heap_[i].state));
+        continue;
+      }
+      if (kept != i) heap_[kept] = std::move(heap_[i]);
+      ++kept;
+    }
+    heap_.resize(kept);
+    cancelled_in_queue_ = 0;
+    std::make_heap(heap_.begin(), heap_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return before(b, a);  // make_heap wants "less".
+                   });
+    last_push_index_ = heap_.size();
+  }
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::vector<Entry> heap_;
+  std::size_t last_push_index_ = 0;
+  std::vector<std::shared_ptr<HeapEventHandle::State>> state_pool_;
+  std::size_t cancelled_in_queue_ = 0;
+  std::uint64_t handles_created_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+inline void HeapEventHandle::cancel() {
+  if (!state_ || state_->cancelled || state_->fired) return;
+  state_->cancelled = true;
+  if (state_->owner != nullptr) state_->owner->note_cancelled();
+}
+
+inline HeapPendingEvent::operator HeapEventHandle() const {
+  return scheduler_->make_handle(seq_);
+}
+
+}  // namespace fmtcp::sim

@@ -179,36 +179,115 @@ TEST(Scheduler, HandleStatesComeFromFreeList) {
   EXPECT_EQ(s.handle_states_reused(), 49u);
 }
 
-TEST(Scheduler, CompactsWhenCancelledDominates) {
+TEST(Scheduler, CancelRemovesWheelEntryImmediately) {
   Scheduler s;
   std::vector<EventHandle> handles;
-  // Enough live entries to pass the minimum-queue-size gate.
   for (int i = 0; i < 100; ++i) {
     handles.push_back(s.schedule_at(1000 + i, [] {}));
   }
-  // The 51st cancel tips cancelled past half of the 100-entry queue;
-  // compaction reaps every cancelled entry in one pass.
+  EXPECT_EQ(s.queued_count(), 100u);
   for (EventHandle& h : handles) h.cancel();
-  EXPECT_GE(s.compactions(), 1u);
-  EXPECT_LT(s.queued_count(), 100u);
+  // Wheel cancellation is eager: every entry is gone, no tombstones.
+  EXPECT_EQ(s.queued_count(), 0u);
+  EXPECT_EQ(s.cancelled_removed(), 100u);
+  for (EventHandle& h : handles) {
+    EXPECT_FALSE(h.pending());
+    h.cancel();  // Idempotent even though the entry was removed.
+  }
   s.schedule_at(1, [] {});
   s.run();
   EXPECT_EQ(s.executed_count(), 1u);
 }
 
-TEST(Scheduler, CancelAfterCompactionIsSafe) {
+TEST(Scheduler, CancelMiddleOfBucketKeepsOrder) {
   Scheduler s;
+  std::vector<int> order;
+  // Same timestamp => same level-0 bucket; removing from the middle
+  // swap-shuffles the bucket, and the seq sort at dispatch must still
+  // restore FIFO order among the survivors.
   std::vector<EventHandle> handles;
-  for (int i = 0; i < 100; ++i) {
-    handles.push_back(s.schedule_at(1000 + i, [] {}));
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(s.schedule_at(50, [&order, i] { order.push_back(i); }));
   }
-  for (EventHandle& h : handles) h.cancel();  // Triggers compaction.
-  for (EventHandle& h : handles) {
-    EXPECT_FALSE(h.pending());
-    h.cancel();  // Idempotent even though the entry was reaped.
+  handles[3].cancel();
+  handles[1].cancel();
+  handles[6].cancel();
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 5, 7}));
+}
+
+TEST(Scheduler, CancelSameTimestampDuringDispatch) {
+  Scheduler s;
+  // Cancelling an event in the currently-running batch (it is already
+  // in the run queue) must skip it without disturbing the rest.
+  std::vector<int> order;
+  EventHandle victim;
+  s.schedule_at(10, [&] { order.push_back(1); victim.cancel(); });
+  victim = s.schedule_at(10, [&] { order.push_back(2); });
+  s.schedule_at(10, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(s.executed_count(), 2u);
+}
+
+TEST(Scheduler, FarFutureEventsUseOverflow) {
+  Scheduler s;
+  // Beyond the 2^50 ns wheel horizon: parked in the overflow heap, and
+  // still dispatched in exact (when, seq) order once reached.
+  const SimTime far = (SimTime{1} << 51) + 7;
+  std::vector<int> order;
+  s.schedule_at(far, [&] { order.push_back(2); });
+  s.schedule_at(far, [&] { order.push_back(3); });
+  s.schedule_at(5, [&] { order.push_back(1); });
+  EXPECT_EQ(s.overflow_scheduled(), 2u);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), far);
+}
+
+TEST(Scheduler, CancelFarFutureEvent) {
+  Scheduler s;
+  const SimTime far = SimTime{1} << 52;
+  EventHandle h = s.schedule_at(far, [] {});
+  bool ran = false;
+  s.schedule_at(far + 1, [&] { ran = true; });
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run();
+  EXPECT_TRUE(ran);  // The surviving far event still runs.
+  EXPECT_EQ(s.executed_count(), 1u);
+  EXPECT_EQ(s.now(), far + 1);
+}
+
+TEST(Scheduler, CascadesAcrossLevels) {
+  Scheduler s;
+  // An event several byte-levels out must cascade down level by level
+  // and still fire at its exact nanosecond. Set bits in each level's
+  // range (levels start at bit 26, the calendar-queue base grain).
+  SimTime seen = -1;
+  const SimTime when = (SimTime{3} << 44) + (SimTime{5} << 36) +
+                       (SimTime{7} << 28) + 9;
+  s.schedule_at(when, [&] { seen = s.now(); });
+  s.schedule_at(1, [] {});
+  s.run();
+  EXPECT_EQ(seen, when);
+  EXPECT_GE(s.cascades(), 2u);
+}
+
+TEST(Scheduler, RunUntilDoesNotDisturbFutureOrder) {
+  Scheduler s;
+  // Partial runs must not perturb later ordering: drive the clock in
+  // small steps across events that were scheduled before any step.
+  std::vector<int> order;
+  s.schedule_at(100, [&] { order.push_back(1); });
+  s.schedule_at(70000, [&] { order.push_back(2); });
+  s.schedule_at(70000, [&] { order.push_back(3); });
+  s.schedule_at(20'000'000, [&] { order.push_back(4); });
+  for (SimTime t = 50; t <= 20'000'050; t += 65000) {
+    s.run_until(t);
   }
   s.run();
-  EXPECT_EQ(s.executed_count(), 0u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
 }
 
 }  // namespace

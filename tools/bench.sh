@@ -1,9 +1,10 @@
 #!/bin/sh
 # Perf baseline: build the optimised benches and record sweep throughput
-# (serial vs parallel wall time, events/sec) into BENCH_sweep.json and
+# (serial vs parallel wall time, events/sec) into BENCH_sweep.json,
 # codec decode throughput (eager-equivalent vs lazy, MB/s + symbols/s)
-# into BENCH_codec.json at the repo root, plus the scheduler microbench
-# numbers on stdout.
+# into BENCH_codec.json, and event-core replay throughput (timer wheel
+# vs the frozen seed heap on recorded cell traces) into BENCH_sched.json
+# at the repo root, plus the scheduler microbench numbers on stdout.
 #
 #   tools/bench.sh [build-dir]      (default: build)
 #
@@ -33,9 +34,16 @@ cmake --build "$build" -j "$(nproc)" --target \
 
 # Scaling mode: serial baseline plus 2/4/8-thread pooled runs, each
 # under a span-profiling session. The JSON records per-mode wall time,
-# the span aggregate tables, and the "slowdown" analysis naming the
-# span whose self time grew most from jobs=1 to jobs=2.
+# the span aggregate tables, the host's hardware_concurrency, and the
+# "slowdown" analysis naming the span whose self time grew most from
+# jobs=1 to jobs=2.
 "$build/bench/bench_sweep" --jobs=1,2,4,8 --json="$repo/BENCH_sweep.json"
+if [ "$(nproc)" = "1" ]; then
+  echo "bench.sh: NOTE: single-core host — pooled sweep runs are" \
+       "expected to be slower than serial here (the JSON records" \
+       "\"expected_on_host\": true); scaling numbers are only" \
+       "meaningful on a multi-core box."
+fi
 
 # Codec decode-throughput baseline (tools/check.sh FMTCP_BENCH_GUARD=1
 # compares future runs against this file). Three separate processes,
@@ -46,8 +54,18 @@ cmake --build "$build" -j "$(nproc)" --target \
 "$build/bench/bench_codec_micro" --json="$codec_json" --merge-min
 "$build/bench/bench_codec_micro" --json="$codec_json" --merge-min
 
+# Event-core replay baseline: records a real fmtcp and mptcp cell's
+# scheduler operation trace, replays it with no-op callbacks on the
+# timer wheel and the frozen seed heap, and writes the events/sec
+# floors (same 3-pass elementwise-min policy as the codec bench).
+# tools/check.sh FMTCP_BENCH_GUARD=1 guards against this file.
+"$build/bench/bench_sim_micro" --json="$repo/BENCH_sched.json"
+"$build/bench/bench_sim_micro" --json="$repo/BENCH_sched.json" --merge-min
+"$build/bench/bench_sim_micro" --json="$repo/BENCH_sched.json" --merge-min
+
 # Event-loop microbenches (scheduler churn, dispatch-profiling gate,
 # full-stack simulated-second cost). Informational; not recorded.
 "$build/bench/bench_sim_micro" --benchmark_min_time=0.2
 
-echo "bench.sh: wrote $repo/BENCH_sweep.json and $codec_json"
+echo "bench.sh: wrote $repo/BENCH_sweep.json, $repo/BENCH_sched.json," \
+     "and $codec_json"

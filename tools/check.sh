@@ -12,9 +12,10 @@
 #
 # FMTCP_BENCH_GUARD=1 tools/check.sh [build-dir]   (default: build)
 #   perf-regression mode: builds the regular optimised config, runs the
-#   bench_codec_micro decode-throughput harness, and fails if any case
-#   regressed more than 20% against the committed BENCH_codec.json
-#   baseline. Skipped by default — wall-clock numbers are only
+#   bench_codec_micro decode-throughput harness and the bench_sim_micro
+#   event-core replay harness, and fails if any case regressed more
+#   than 20% against the committed BENCH_codec.json / BENCH_sched.json
+#   baselines. Skipped by default — wall-clock numbers are only
 #   meaningful on a quiet machine comparable to the baseline's.
 #
 # FMTCP_STATIC=1 tools/check.sh [build-dir]   (default: build-static)
@@ -102,8 +103,11 @@ fi
 if [ "${FMTCP_BENCH_GUARD:-0}" = "1" ]; then
   build="${1:-$repo/build}"
   cmake -B "$build" -S "$repo"
-  cmake --build "$build" -j "$(nproc)" --target bench_codec_micro
+  cmake --build "$build" -j "$(nproc)" --target \
+    bench_codec_micro bench_sim_micro
   "$build/bench/bench_codec_micro" --guard="$repo/BENCH_codec.json" \
+    --max-regression=0.20
+  "$build/bench/bench_sim_micro" --guard="$repo/BENCH_sched.json" \
     --max-regression=0.20
   echo "check.sh (bench guard): all good"
   exit 0
@@ -147,5 +151,23 @@ cmake --build "$build" -j "$(nproc)"
 "$build/tools/trace_summary" --spans "$build/check_spans.json"
 python3 -m json.tool "$build/check_spans.json" > /dev/null
 python3 -m json.tool "$build/check_metrics.json" > /dev/null
+
+# Grid-sweep determinism smoke: a small grid must stream byte-identical
+# JSONL at any job count, and resuming from a torn file (half the lines
+# plus a truncated tail) must reproduce the same bytes without
+# recomputing the completed prefix.
+grid_flags="--grid --grid-loss=0,0.05 --grid-delay2=50,100 \
+  --grid-delay1=100 --grid-blocks=64 --grid-seeds=1 --seconds=1"
+"$build/bench/bench_sweep" $grid_flags --jobs=1 \
+  --out="$build/check_grid_serial.jsonl" > /dev/null
+"$build/bench/bench_sweep" $grid_flags --jobs=2 \
+  --out="$build/check_grid_pooled.jsonl" > /dev/null
+cmp "$build/check_grid_serial.jsonl" "$build/check_grid_pooled.jsonl"
+{ head -n 2 "$build/check_grid_serial.jsonl";
+  head -n 3 "$build/check_grid_serial.jsonl" | tail -n 1 | cut -c1-20; } \
+  > "$build/check_grid_resume.jsonl"
+"$build/bench/bench_sweep" $grid_flags --jobs=2 --resume \
+  --out="$build/check_grid_resume.jsonl" > /dev/null
+cmp "$build/check_grid_serial.jsonl" "$build/check_grid_resume.jsonl"
 
 echo "check.sh: all good"
