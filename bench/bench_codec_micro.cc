@@ -13,9 +13,17 @@
 //    produced by tools/bench.sh); --guard re-runs the harness and fails
 //    if any case regressed more than --max-regression (default 0.20)
 //    against the baseline file (tools/check.sh FMTCP_BENCH_GUARD=1).
-//    The JSON records the active GF(2) kernel and CPU features; a guard
-//    run whose active kernel differs from the baseline's skips (exit 0)
-//    rather than compare across unlike machines.
+//    The harness also covers the GF(256) RLC ablation codec
+//    (gf256_dense_k* / gf256_systematic_k*) and the raw gf256 multiply
+//    kernel (gf256_mul_region vs gf256_mul_region_scalar — the
+//    split-nibble SIMD speedup on record). The JSON records the active
+//    GF(2) and GF(256) kernels and CPU features; a guard run whose
+//    active kernels differ from the baseline's skips (exit 0) rather
+//    than compare across unlike machines, and a full guard run fails if
+//    any committed case is no longer measured by the harness.
+//  - --cases=REGEX restricts the harness (json and guard modes) to case
+//    names matching the regex; a filtered --json run keeps the previous
+//    recordings of the cases it skipped.
 //  - --symbol-bytes=N changes the harness's default symbol size (160).
 #include <benchmark/benchmark.h>
 
@@ -26,6 +34,7 @@
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -36,6 +45,8 @@
 #include "common/rng.h"
 #include "fountain/decoder.h"
 #include "fountain/gf2_kernels.h"
+#include "fountain/gf256_kernels.h"
+#include "fountain/gf256_rlc.h"
 #include "fountain/lt_codec.h"
 #include "fountain/random_linear.h"
 
@@ -150,11 +161,86 @@ void BM_CoefficientsFromSeed(benchmark::State& state) {
 }
 BENCHMARK(BM_CoefficientsFromSeed)->Arg(64)->Arg(256);
 
+void BM_Gf256EncodeSymbol(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const auto symbol_bytes = static_cast<std::size_t>(state.range(1));
+  Gf256RlcEncoder encoder(1, make_deterministic_block(1, k, symbol_bytes),
+                          Rng(7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.next_symbol());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(symbol_bytes));
+}
+BENCHMARK(BM_Gf256EncodeSymbol)
+    ->Args({16, 160})
+    ->Args({64, 160})
+    ->Args({128, 160})
+    ->Args({64, 1024});
+
+void BM_Gf256DecodeBlock(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const auto symbol_bytes = static_cast<std::size_t>(state.range(1));
+  Rng rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Gf256RlcEncoder encoder(1, make_deterministic_block(1, k, symbol_bytes),
+                            rng.fork());
+    std::vector<net::EncodedSymbol> symbols;
+    for (std::uint32_t i = 0; i < k + 4; ++i) {
+      symbols.push_back(encoder.next_symbol());
+    }
+    state.ResumeTiming();
+
+    Gf256RlcDecoder decoder(k, symbol_bytes, /*track_data=*/true);
+    for (const auto& symbol : symbols) {
+      if (decoder.complete()) break;
+      decoder.add_symbol(symbol);
+    }
+    // ~256^-4 of iterations the k+4 symbols are rank-deficient; skip.
+    if (decoder.complete()) benchmark::DoNotOptimize(decoder.decode());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k) *
+                          static_cast<std::int64_t>(symbol_bytes));
+}
+BENCHMARK(BM_Gf256DecodeBlock)
+    ->Args({16, 160})
+    ->Args({64, 160})
+    ->Args({128, 160});
+
+void BM_Gf256MulRegion(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  Rng rng(23);
+  std::vector<std::uint8_t> dst(size);
+  std::vector<std::uint8_t> src(size);
+  for (auto& b : dst) b = static_cast<std::uint8_t>(rng.next_below(256));
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.next_below(256));
+  const Gf256KernelOps& ops = gf256_kernel();
+  std::uint8_t c = 2;  // Stays off the c==0/1 fast paths.
+  for (auto _ : state) {
+    ops.mul_region(dst.data(), src.data(), c, size);
+    benchmark::DoNotOptimize(dst.data());
+    c = c == 255 ? 2 : static_cast<std::uint8_t>(c + 1);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+  state.SetLabel(ops.name);
+}
+BENCHMARK(BM_Gf256MulRegion)->Arg(160)->Arg(1400)->Arg(65536);
+
 // --------------------------------------------------------------------------
 // Decode-throughput harness (--json / --guard modes)
 // --------------------------------------------------------------------------
 
 std::size_t g_symbol_bytes = 160;  ///< --symbol-bytes=N overrides.
+std::optional<std::regex> g_cases_filter;  ///< --cases=REGEX overrides.
+
+/// True when `name` should run under the active --cases filter.
+bool case_enabled(const std::string& name) {
+  return !g_cases_filter.has_value() ||
+         std::regex_search(name, *g_cases_filter);
+}
 constexpr std::size_t kMtuSymbolBytes = 1400;
 constexpr std::uint32_t kKs[] = {16, 32, 64, 128};
 constexpr std::uint32_t kLargeKs[] = {256, 512};  ///< New decoder only.
@@ -327,6 +413,37 @@ std::vector<std::vector<net::EncodedSymbol>> make_streams(
   return streams;
 }
 
+/// GF(256) counterpart of make_stream: same shapes (dense coded vs
+/// systematic thinned by 12% loss), byte-coefficient symbols.
+std::vector<net::EncodedSymbol> make_gf256_stream(std::uint32_t k,
+                                                  std::size_t symbol_bytes,
+                                                  bool dense,
+                                                  std::uint64_t seed) {
+  Rng loss_rng(seed * 977 + 11);
+  Gf256RlcEncoder encoder(seed,
+                          make_deterministic_block(seed, k, symbol_bytes),
+                          Rng(seed * 31 + 7), /*systematic=*/!dense);
+  std::vector<net::EncodedSymbol> stream;
+  Gf256RlcDecoder probe(k, symbol_bytes, /*track_data=*/false);
+  while (!probe.complete()) {
+    net::EncodedSymbol s = encoder.next_symbol();
+    if (!dense && loss_rng.bernoulli(0.12)) continue;  // Lost in transit.
+    probe.add_symbol(s);
+    stream.push_back(std::move(s));
+  }
+  return stream;
+}
+
+std::vector<std::vector<net::EncodedSymbol>> make_gf256_streams(
+    std::uint32_t k, std::size_t symbol_bytes, bool dense) {
+  std::vector<std::vector<net::EncodedSymbol>> streams;
+  for (int s = 0; s < kStreamsPerCase; ++s) {
+    streams.push_back(make_gf256_stream(k, symbol_bytes, dense,
+                                        static_cast<std::uint64_t>(s) + 1));
+  }
+  return streams;
+}
+
 struct CaseResult {
   std::string name;
   double mbytes_per_sec = 0.0;
@@ -452,6 +569,49 @@ struct EagerAdapter {
   EagerReferenceDecoder decoder;
 };
 
+struct Gf256Adapter {
+  Gf256Adapter(std::uint32_t k, std::size_t bytes)
+      : decoder(k, bytes, /*track_data=*/true, &bench_pool()) {}
+  void add_symbol(const net::EncodedSymbol& s) {
+    if (!decoder.complete()) decoder.add_symbol(s);
+  }
+  bool complete() const { return decoder.complete(); }
+  const BlockData& decode() { return decoder.decode(); }
+  Gf256RlcDecoder decoder;
+};
+
+/// Raw gf256 mul_region throughput (dst ^= c·src over a 64 KiB region):
+/// the number the split-nibble SIMD kernels exist to move. Coefficients
+/// cycle through [2, 255] so the c==0/1 fast paths never fire.
+CaseResult run_mul_region_case(const std::string& name,
+                               const Gf256KernelOps& ops) {
+  constexpr std::size_t kBufBytes = 64 * 1024;
+  Rng rng(12345);
+  std::vector<std::uint8_t> dst(kBufBytes);
+  std::vector<std::uint8_t> src(kBufBytes);
+  for (auto& b : dst) b = static_cast<std::uint8_t>(rng.next_below(256));
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.next_below(256));
+  std::uint8_t c = 2;
+  std::uint64_t passes = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    ops.mul_region(dst.data(), src.data(), c, kBufBytes);
+    benchmark::DoNotOptimize(dst.data());
+    c = c == 255 ? 2 : static_cast<std::uint8_t>(c + 1);
+    ++passes;
+    elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  } while (elapsed < kMinSeconds);
+  CaseResult result;
+  result.name = name;
+  result.mbytes_per_sec =
+      static_cast<double>(passes) * kBufBytes / elapsed / 1e6;
+  result.symbols_per_sec = static_cast<double>(passes) / elapsed;
+  return result;
+}
+
 /// Best-of-N repetitions of `fn`, so a background burst on this
 /// (single-core) box degrades one repetition, not the result.
 template <typename Fn>
@@ -469,35 +629,49 @@ std::vector<CaseResult> run_harness() {
   std::vector<CaseResult> results;
   for (std::uint32_t k : kKs) {
     for (bool dense : {false, true}) {
-      const auto streams = make_streams(k, g_symbol_bytes, dense);
       const std::string suffix =
           std::string(dense ? "dense" : "systematic") + "_k" +
           std::to_string(k);
-      std::printf("  %-20s", suffix.c_str());
+      const bool want_eager = case_enabled("eager_" + suffix);
+      const bool want_lazy = case_enabled("lazy_" + suffix);
+      if (!want_eager && !want_lazy) continue;
+      const auto streams = make_streams(k, g_symbol_bytes, dense);
       // Alternate decoders across repetitions (see best_of).
       CaseResult eager;
       CaseResult lazy;
       for (int rep = 0; rep < 5; ++rep) {
-        const CaseResult e = run_case<EagerAdapter>(
-            "eager_" + suffix, k, g_symbol_bytes, streams);
-        if (e.mbytes_per_sec > eager.mbytes_per_sec) eager = e;
-        const CaseResult l = run_case<LazyAdapter>(
-            "lazy_" + suffix, k, g_symbol_bytes, streams);
-        if (l.mbytes_per_sec > lazy.mbytes_per_sec) lazy = l;
+        if (want_eager) {
+          const CaseResult e = run_case<EagerAdapter>(
+              "eager_" + suffix, k, g_symbol_bytes, streams);
+          if (e.mbytes_per_sec > eager.mbytes_per_sec) eager = e;
+        }
+        if (want_lazy) {
+          const CaseResult l = run_case<LazyAdapter>(
+              "lazy_" + suffix, k, g_symbol_bytes, streams);
+          if (l.mbytes_per_sec > lazy.mbytes_per_sec) lazy = l;
+        }
       }
-      std::printf(" eager %8.1f MB/s   lazy %8.1f MB/s   (%.2fx)\n",
-                  eager.mbytes_per_sec, lazy.mbytes_per_sec,
-                  lazy.mbytes_per_sec / eager.mbytes_per_sec);
-      results.push_back(eager);
-      results.push_back(lazy);
+      if (want_eager && want_lazy) {
+        std::printf("  %-20s eager %8.1f MB/s   lazy %8.1f MB/s   (%.2fx)\n",
+                    suffix.c_str(), eager.mbytes_per_sec,
+                    lazy.mbytes_per_sec,
+                    lazy.mbytes_per_sec / eager.mbytes_per_sec);
+      } else {
+        const CaseResult& only = want_eager ? eager : lazy;
+        std::printf("  %-26s %8.1f MB/s\n", only.name.c_str(),
+                    only.mbytes_per_sec);
+      }
+      if (want_eager) results.push_back(eager);
+      if (want_lazy) results.push_back(lazy);
     }
   }
 
   // Large-k̂ dense cases, new decoder only (the eager reference is
   // quadratic in payload work and would dominate harness runtime).
   for (std::uint32_t k : kLargeKs) {
-    const auto streams = make_streams(k, g_symbol_bytes, /*dense=*/true);
     const std::string name = "lazy_dense_k" + std::to_string(k);
+    if (!case_enabled(name)) continue;
+    const auto streams = make_streams(k, g_symbol_bytes, /*dense=*/true);
     const CaseResult r = best_of(5, [&] {
       return run_case<LazyAdapter>(name, k, g_symbol_bytes, streams);
     });
@@ -507,7 +681,7 @@ std::vector<CaseResult> run_harness() {
   }
 
   // Batch decode across blocks, shared scratch.
-  {
+  if (case_enabled("batch_dense_k128")) {
     const std::uint32_t k = 128;
     const auto streams = make_streams(k, g_symbol_bytes, /*dense=*/true);
     const CaseResult r = best_of(5, [&] {
@@ -519,7 +693,7 @@ std::vector<CaseResult> run_harness() {
   }
 
   // MTU-sized symbols: payload kernels dominate at 1400 bytes/symbol.
-  {
+  if (case_enabled("lazy_dense_k128_sb1400")) {
     const std::uint32_t k = 128;
     const auto streams = make_streams(k, kMtuSymbolBytes, /*dense=*/true);
     const CaseResult r = best_of(5, [&] {
@@ -529,6 +703,53 @@ std::vector<CaseResult> run_harness() {
     std::printf("  %-20s                     lazy %8.1f MB/s\n",
                 "dense_k128_sb1400", r.mbytes_per_sec);
     results.push_back(r);
+  }
+
+  // GF(256) RLC ablation codec: decode throughput over the same stream
+  // shapes, byte coefficients through the multiply kernels.
+  for (std::uint32_t k : kKs) {
+    for (bool dense : {false, true}) {
+      const std::string name = std::string("gf256_") +
+                               (dense ? "dense" : "systematic") + "_k" +
+                               std::to_string(k);
+      if (!case_enabled(name)) continue;
+      const auto streams = make_gf256_streams(k, g_symbol_bytes, dense);
+      const CaseResult r = best_of(5, [&] {
+        return run_case<Gf256Adapter>(name, k, g_symbol_bytes, streams);
+      });
+      std::printf("  %-26s %8.1f MB/s\n", name.c_str(), r.mbytes_per_sec);
+      results.push_back(r);
+    }
+  }
+
+  // Raw gf256 multiply-kernel throughput, dispatched vs forced-scalar:
+  // the split-nibble SIMD speedup on record (>= 4x expected wherever
+  // PSHUFB or vtbl is available).
+  {
+    const bool want_simd = case_enabled("gf256_mul_region");
+    const bool want_scalar = case_enabled("gf256_mul_region_scalar");
+    CaseResult simd;
+    CaseResult scalar;
+    if (want_simd) {
+      simd = best_of(5, [&] {
+        return run_mul_region_case("gf256_mul_region", gf256_kernel());
+      });
+      results.push_back(simd);
+    }
+    if (want_scalar) {
+      scalar = best_of(5, [&] {
+        return run_mul_region_case("gf256_mul_region_scalar",
+                                   gf256_scalar_kernel());
+      });
+      results.push_back(scalar);
+    }
+    if (want_simd && want_scalar) {
+      std::printf(
+          "  gf256_mul_region (%s) %8.1f MB/s   scalar %8.1f MB/s   "
+          "(%.2fx)\n",
+          gf256_kernel().name, simd.mbytes_per_sec, scalar.mbytes_per_sec,
+          simd.mbytes_per_sec / scalar.mbytes_per_sec);
+    }
   }
 
   // Deterministic JSON: case keys sorted by name.
@@ -551,6 +772,18 @@ std::uint64_t rank_only_payload_bytes() {
   return decoder.payload_bytes_xored();
 }
 
+/// Same invariant for the GF(256) decoder's rank-only mode.
+std::uint64_t gf256_rank_only_payload_bytes() {
+  const std::uint32_t k = 64;
+  const auto stream =
+      make_gf256_stream(k, g_symbol_bytes, /*dense=*/true, 42);
+  Gf256RlcDecoder decoder(k, g_symbol_bytes, /*track_data=*/false);
+  for (const auto& symbol : stream) decoder.add_symbol(symbol);
+  FMTCP_CHECK(decoder.complete());
+  FMTCP_CHECK(decoder.payload_bytes_multiplied() == 0);
+  return decoder.payload_bytes_multiplied();
+}
+
 void write_json(const std::string& path, std::vector<CaseResult> results,
                 bool merge_min) {
   if (merge_min) {
@@ -569,6 +802,28 @@ void write_json(const std::string& path, std::vector<CaseResult> results,
       }
     }
   }
+  if (g_cases_filter.has_value()) {
+    // A filtered re-recording keeps the previous numbers of every case
+    // it skipped, so --cases cannot silently shrink the baseline.
+    const std::string prev = read_file(path);
+    for (const std::string& name : baseline_case_names(prev)) {
+      const bool measured =
+          std::any_of(results.begin(), results.end(),
+                      [&](const CaseResult& r) { return r.name == name; });
+      if (measured) continue;
+      const std::optional<double> mb =
+          baseline_field(prev, name, "mbytes_per_sec");
+      const std::optional<double> sym =
+          baseline_field(prev, name, "symbols_per_sec");
+      if (mb.has_value() && sym.has_value()) {
+        results.push_back({name, *mb, *sym});
+      }
+    }
+    std::sort(results.begin(), results.end(),
+              [](const CaseResult& a, const CaseResult& b) {
+                return a.name < b.name;
+              });
+  }
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::perror(("cannot open " + path).c_str());
@@ -578,12 +833,16 @@ void write_json(const std::string& path, std::vector<CaseResult> results,
                "{\n"
                "  \"symbol_bytes\": %zu,\n"
                "  \"kernel\": \"%s\",\n"
+               "  \"gf256_kernel\": \"%s\",\n"
                "  \"cpu_features\": \"%s\",\n"
                "  \"rank_only_payload_bytes_xored\": %llu,\n"
+               "  \"gf256_rank_only_payload_bytes_multiplied\": %llu,\n"
                "  \"cases\": {\n",
-               g_symbol_bytes, gf2_kernel().name,
+               g_symbol_bytes, gf2_kernel().name, gf256_kernel().name,
                cpu_features_string().c_str(),
-               static_cast<unsigned long long>(rank_only_payload_bytes()));
+               static_cast<unsigned long long>(rank_only_payload_bytes()),
+               static_cast<unsigned long long>(
+                   gf256_rank_only_payload_bytes()));
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CaseResult& r = results[i];
     std::fprintf(file,
@@ -618,9 +877,33 @@ int run_guard(const std::string& baseline_path, double max_regression) {
         base_kernel->c_str(), gf2_kernel().name);
     return 0;
   }
+  const std::optional<std::string> base_gf256_kernel =
+      baseline_string(json, "gf256_kernel");
+  if (base_gf256_kernel.has_value() &&
+      *base_gf256_kernel != gf256_kernel().name) {
+    std::printf(
+        "guard: baseline gf256_kernel \"%s\" != active \"%s\"; "
+        "skipping (not comparable)\n",
+        base_gf256_kernel->c_str(), gf256_kernel().name);
+    return 0;
+  }
 
   const std::vector<CaseResult> results = run_harness();
   int failures = 0;
+  if (!g_cases_filter.has_value()) {
+    // Completeness: every committed case must still be measured by a
+    // full harness run, or a dropped case would silently leave the gate.
+    for (const std::string& name : baseline_case_names(json)) {
+      const bool measured =
+          std::any_of(results.begin(), results.end(),
+                      [&](const CaseResult& r) { return r.name == name; });
+      if (!measured) {
+        std::printf("guard: %-24s in baseline but NOT MEASURED\n",
+                    name.c_str());
+        ++failures;
+      }
+    }
+  }
   for (const CaseResult& r : results) {
     const std::optional<double> base =
         baseline_field(json, r.name, "mbytes_per_sec");
@@ -656,6 +939,16 @@ int main(int argc, char** argv) {
   if (symbol_bytes.has_value()) {
     g_symbol_bytes = static_cast<std::size_t>(std::stoul(*symbol_bytes));
     FMTCP_CHECK(g_symbol_bytes > 0);
+  }
+  const std::optional<std::string> cases = flag_value(argc, argv, "cases");
+  if (cases.has_value()) {
+    try {
+      g_cases_filter.emplace(*cases);
+    } catch (const std::regex_error& e) {
+      std::fprintf(stderr, "bad --cases regex '%s': %s\n", cases->c_str(),
+                   e.what());
+      return 2;
+    }
   }
   const std::optional<std::string> json_path =
       flag_value(argc, argv, "json");

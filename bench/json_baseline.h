@@ -12,6 +12,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace fmtcp::benchjson {
 
@@ -45,6 +46,32 @@ inline std::optional<std::string> baseline_string(const std::string& json,
   const std::size_t end = json.find('"', begin);
   if (end == std::string::npos) return std::nullopt;
   return json.substr(begin, end - begin);
+}
+
+/// Lists every case name under the `"cases": {` object of a previously
+/// written baseline (machine-written format: one `"name": {...}` entry
+/// per line). Used by guard runs to verify the gate still measures
+/// every committed case.
+inline std::vector<std::string> baseline_case_names(const std::string& json) {
+  std::vector<std::string> names;
+  const std::size_t cases = json.find("\"cases\"");
+  if (cases == std::string::npos) return names;
+  std::size_t pos = json.find('{', cases);
+  if (pos == std::string::npos) return names;
+  ++pos;
+  while (true) {
+    const std::size_t q1 = json.find('"', pos);
+    if (q1 == std::string::npos) break;
+    const std::size_t q2 = json.find('"', q1 + 1);
+    if (q2 == std::string::npos) break;
+    names.push_back(json.substr(q1 + 1, q2 - q1 - 1));
+    const std::size_t close = json.find('}', q2);  // End of the entry.
+    if (close == std::string::npos) break;
+    pos = close + 1;
+    const std::size_t next = json.find_first_not_of(",\n\r\t ", pos);
+    if (next == std::string::npos || json[next] == '}') break;
+  }
+  return names;
 }
 
 inline std::optional<std::string> flag_value(int argc, char** argv,

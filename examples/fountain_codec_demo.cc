@@ -1,11 +1,13 @@
 // Standalone fountain-codec demo: uses the coding library without any
 // networking. Encodes a block, simulates an erasure channel, decodes,
-// and reports the redundancy — then does the same with the sparse LT
-// codec extension.
+// and reports the redundancy — then does the same with the GF(256) RLC
+// ablation and the sparse LT codec extension.
 #include <cstdio>
 
 #include "common/rng.h"
 #include "fountain/decoder.h"
+#include "fountain/gf256_kernels.h"
+#include "fountain/gf256_rlc.h"
 #include "fountain/lt_codec.h"
 #include "fountain/random_linear.h"
 
@@ -53,6 +55,37 @@ int main() {
                 100.0 * (static_cast<double>(sent) /
                              (k / (1.0 - channel_loss)) -
                          1.0));
+  }
+
+  // --- Dense GF(256) RLC (CTCP-style ablation, gf256_rlc.h). ---
+  {
+    Gf256RlcEncoder encoder(7, original, rng.fork());
+    Gf256RlcDecoder decoder(k, symbol_bytes, /*track_data=*/true);
+    Rng channel = rng.fork();
+    std::uint64_t sent = 0;
+    std::uint64_t erased = 0;
+    while (!decoder.complete()) {
+      net::EncodedSymbol symbol = encoder.next_symbol();
+      ++sent;
+      if (channel.bernoulli(channel_loss)) {
+        ++erased;
+        continue;
+      }
+      decoder.add_symbol(std::move(symbol));
+    }
+    const bool ok = decoder.decode().bytes() == original.bytes();
+    std::printf("GF(256) random linear (kernel: %s):\n",
+                gf256_kernel().name);
+    std::printf("  sent %llu symbols (%llu erased, %llu redundant)\n",
+                static_cast<unsigned long long>(sent),
+                static_cast<unsigned long long>(erased),
+                static_cast<unsigned long long>(decoder.redundant_count()));
+    std::printf("  received %llu, rank %u/%u, decode %s\n",
+                static_cast<unsigned long long>(decoder.received_count()),
+                decoder.rank(), k, ok ? "byte-exact" : "FAILED");
+    std::printf(
+        "  (byte coefficients: dependent receptions ~256x rarer than "
+        "GF(2), at multiply-kernel decode cost)\n\n");
   }
 
   // --- Sparse LT codec with robust-soliton degrees (extension). ---

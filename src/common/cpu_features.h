@@ -13,10 +13,13 @@
 namespace fmtcp {
 
 struct CpuFeatures {
-  bool sse2 = false;     ///< x86-64 baseline (always true there).
+  bool sse2 = false;        ///< x86-64 baseline (always true there).
+  bool ssse3 = false;       ///< PSHUFB — the GF(256) split-nibble multiply.
   bool avx2 = false;
-  bool avx512f = false;  ///< AVX-512 Foundation (512-bit XOR).
-  bool neon = false;     ///< AArch64 baseline (always true there).
+  bool avx512f = false;     ///< AVX-512 Foundation (512-bit XOR).
+  bool avx512bw = false;    ///< AVX-512 byte/word ops (512-bit shuffles).
+  bool avx512vbmi = false;  ///< VPERMB — 64-entry byte permute for GF(256).
+  bool neon = false;        ///< AArch64 baseline (always true there).
 };
 
 /// Detected features of the running CPU (cached after the first call;

@@ -9,26 +9,26 @@ namespace fmtcp::core {
 
 namespace {
 
-fountain::RandomLinearEncoder make_encoder(net::BlockId id,
-                                           const FmtcpParams& params,
-                                           Rng rng, BlockSource* source) {
+fountain::SymbolEncoder make_encoder(net::BlockId id,
+                                     const FmtcpParams& params, Rng rng,
+                                     BlockSource* source) {
   if (source != nullptr) {
     FMTCP_CHECK(params.carry_payload);
-    return fountain::RandomLinearEncoder(
-        id,
+    return fountain::SymbolEncoder(
+        params.coding_field, id,
         source->build_block(id, params.block_symbols, params.symbol_bytes),
         rng, params.systematic);
   }
   if (params.carry_payload) {
-    return fountain::RandomLinearEncoder(
-        id,
+    return fountain::SymbolEncoder(
+        params.coding_field, id,
         fountain::make_deterministic_block(id, params.block_symbols,
                                            params.symbol_bytes),
         rng, params.systematic);
   }
-  return fountain::RandomLinearEncoder(id, params.block_symbols,
-                                       params.symbol_bytes, rng,
-                                       params.systematic);
+  return fountain::SymbolEncoder(params.coding_field, id,
+                                 params.block_symbols, params.symbol_bytes,
+                                 rng, params.systematic);
 }
 
 }  // namespace
@@ -111,8 +111,8 @@ double BlockManager::k_tilde(
 double BlockManager::delta_tilde(
     const SenderBlock& block,
     const std::function<double(std::uint32_t)>& loss_of) const {
-  return fountain::decode_failure_probability(block.k_hat,
-                                              k_tilde(block, loss_of));
+  return fountain::field_decode_failure_probability(
+      params_.coding_field, block.k_hat, k_tilde(block, loss_of));
 }
 
 void BlockManager::on_symbols_sent(net::BlockId id, std::uint32_t subflow,

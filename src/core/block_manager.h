@@ -18,7 +18,7 @@
 #include "common/rng.h"
 #include "core/block_source.h"
 #include "core/params.h"
-#include "fountain/random_linear.h"
+#include "fountain/codec.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
 
@@ -34,7 +34,7 @@ struct SenderBlock {
   std::map<std::uint32_t, std::uint32_t> in_flight;
   std::uint64_t symbols_sent = 0;
   SimTime first_symbol_sent = kNever;
-  fountain::RandomLinearEncoder encoder;
+  fountain::SymbolEncoder encoder;  ///< Field per params.coding_field.
 
   /// `source` may be null (deterministic content, or none in rank-only
   /// mode).

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/time.h"
+#include "fountain/coding_field.h"
 
 namespace fmtcp::core {
 
@@ -49,6 +50,12 @@ struct FmtcpParams {
   /// are the source symbols themselves, so a lossless stretch decodes
   /// with zero coding overhead; repair symbols stay random linear.
   bool systematic = false;
+
+  /// Coefficient field of the random linear code (ablation knob; CTCP
+  /// comparison). kGf2 is the paper's code and the default; kGf256 buys
+  /// lower reception overhead (δ̃ shrinks 256× per extra symbol instead
+  /// of 2×) at a higher decode cost. Orthogonal to `systematic`.
+  fountain::CodingField coding_field = fountain::CodingField::kGf2;
 
   /// Application bytes per block.
   std::size_t block_bytes() const {

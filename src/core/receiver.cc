@@ -68,9 +68,10 @@ void FmtcpReceiver::on_segment(std::uint32_t subflow, net::Packet& p) {
       continue;
     }
     auto [it, inserted] = decoders_.try_emplace(
-        symbol.block, symbol.block_symbols, params_.symbol_bytes,
-        params_.carry_payload, &simulator_.buffer_pool(), &coding_metrics_);
-    fountain::BlockDecoder& decoder = it->second;
+        symbol.block, params_.coding_field, symbol.block_symbols,
+        params_.symbol_bytes, params_.carry_payload,
+        &simulator_.buffer_pool(), &coding_metrics_);
+    fountain::SymbolDecoder& decoder = it->second;
     if (!decoder.add_symbol(std::move(symbol))) {
       ++redundant_symbols_;  // Linearly dependent; dropped (§III-B).
       note_redundant(subflow, symbol.block, decoder.rank());

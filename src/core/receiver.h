@@ -9,7 +9,7 @@
 
 #include "core/block_source.h"
 #include "core/params.h"
-#include "fountain/decoder.h"
+#include "fountain/codec.h"
 #include "metrics/goodput.h"
 #include "net/packet.h"
 #include "obs/observer.h"
@@ -72,7 +72,7 @@ class FmtcpReceiver final : public tcp::DataSink {
   metrics::GoodputMeter* goodput_;
   BlockSink* sink_;
 
-  std::map<net::BlockId, fountain::BlockDecoder> decoders_;
+  std::map<net::BlockId, fountain::SymbolDecoder> decoders_;
   std::set<net::BlockId> decoded_waiting_;  ///< Decoded, awaiting order.
   /// Decoded payloads held for the sink until in-order delivery.
   std::map<net::BlockId, fountain::BlockData> decoded_data_;

@@ -1,0 +1,33 @@
+// Coefficient-field selection for the coding plane.
+//
+// Kept in its own tiny header so core/params.h can carry the knob
+// without pulling the codec implementations in; fountain/codec.h has the
+// wrappers that act on it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace fmtcp::fountain {
+
+/// Which coefficient field the random linear codec draws from.
+///   kGf2   — bit coefficients, XOR kernels (the paper's code; default).
+///   kGf256 — byte coefficients, PSHUFB/NEON multiply kernels (CTCP-style
+///            ablation: lower reception overhead, costlier decode).
+enum class CodingField : std::uint8_t { kGf2, kGf256 };
+
+/// Stable lowercase name ("gf2", "gf256") — the --coding flag vocabulary
+/// and what sweep outputs record.
+const char* coding_field_name(CodingField field);
+
+/// Parses a --coding flag value; nullopt if unknown.
+std::optional<CodingField> parse_coding_field(const char* name);
+
+/// Decoding-failure probability after `received` random symbols of a
+/// k̂-symbol block, in the given field: Eq. 2's 2^-(received-k̂) for
+/// GF(2), the q = 256 union bound for GF(256). Drives δ̃ (Def. 3), so the
+/// sender's redundancy margin automatically shrinks for the denser field.
+double field_decode_failure_probability(CodingField field,
+                                        std::uint32_t k_hat, double received);
+
+}  // namespace fmtcp::fountain

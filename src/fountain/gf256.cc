@@ -1,0 +1,43 @@
+#include "fountain/gf256.h"
+
+#include <cmath>
+
+namespace fmtcp::fountain {
+namespace {
+
+struct NibbleTableArray {
+  std::array<Gf256NibbleTables, 256> tables{};
+
+  constexpr NibbleTableArray() {
+    for (std::size_t c = 0; c < 256; ++c) {
+      for (std::size_t n = 0; n < 16; ++n) {
+        tables[c].lo[n] = gf256_mul(static_cast<std::uint8_t>(c),
+                                    static_cast<std::uint8_t>(n));
+        tables[c].hi[n] = gf256_mul(static_cast<std::uint8_t>(c),
+                                    static_cast<std::uint8_t>(n << 4));
+      }
+    }
+  }
+};
+
+constexpr NibbleTableArray kNibbleTables{};
+
+}  // namespace
+
+const Gf256NibbleTables* gf256_nibble_tables() {
+  return kNibbleTables.tables.data();
+}
+
+double gf256_decode_failure_probability(std::uint32_t k_hat,
+                                        double received) {
+  if (received < static_cast<double>(k_hat)) return 1.0;
+  // P(k̂ random vectors over GF(q)^k̂ among `received` fail to span) ≤
+  // q^-(received-k̂) · q/(q-1); exact enough for the δ̃ margin and
+  // monotone in `received` like the GF(2) formula.
+  const double q = 256.0;
+  const double p = std::pow(q, -(received - static_cast<double>(k_hat))) *
+                   (q / (q - 1.0));
+  return p > 1.0 ? 1.0 : p;
+}
+
+}  // namespace fmtcp::fountain

@@ -1,0 +1,108 @@
+// GF(256) field arithmetic: the coefficient algebra of the dense
+// random-linear codec (CTCP-style ablation; see PAPERS.md, Kim et al.).
+//
+// The field is GF(2^8) with the primitive polynomial
+//   x^8 + x^4 + x^3 + x^2 + 1   (0x11D)
+// and generator alpha = 2, the conventional choice of RFC 6330 / Reed–
+// Solomon implementations. All tables are computed at compile time, so
+// the field needs no runtime initialisation and the scalar reference
+// path is pure table lookups.
+//
+// Three table families live here:
+//   - exp/log: scalar multiply, divide, inverse (the mathematical
+//     reference the kernels are property-tested against);
+//   - split-nibble tables: for every constant c, two 16-entry tables
+//     with T_lo[n] = c·n and T_hi[n] = c·(n<<4), so c·v =
+//     T_lo[v & 0xF] ^ T_hi[v >> 4]. This is the layout the PSHUFB /
+//     vtbl kernels (gf256_kernels.h) load straight into vector
+//     registers; the scalar kernel walks the same tables bytewise,
+//     keeping every dispatch variant bit-identical by construction.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace fmtcp::fountain {
+
+/// The primitive polynomial, reduced form (x^8 dropped): 0x1D.
+inline constexpr std::uint16_t kGf256Poly = 0x11D;
+
+namespace gf256_detail {
+
+struct Tables {
+  /// exp[i] = alpha^i for i in [0, 510): doubled so mul can index
+  /// log[a] + log[b] without a conditional modulo 255.
+  std::array<std::uint8_t, 510> exp{};
+  /// log[a] for a in [1, 256); log[0] is unused (stored 0).
+  std::array<std::uint8_t, 256> log{};
+
+  constexpr Tables() {
+    std::uint16_t x = 1;
+    for (std::size_t i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      exp[i + 255] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= kGf256Poly;
+    }
+  }
+};
+
+inline constexpr Tables kTables{};
+
+}  // namespace gf256_detail
+
+/// a · b in GF(256).
+constexpr std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return gf256_detail::kTables
+      .exp[gf256_detail::kTables.log[a] + gf256_detail::kTables.log[b]];
+}
+
+/// a^-1 in GF(256). a must be nonzero.
+constexpr std::uint8_t gf256_inv(std::uint8_t a) {
+  return gf256_detail::kTables
+      .exp[255 - gf256_detail::kTables.log[a]];
+}
+
+/// a / b in GF(256). b must be nonzero.
+constexpr std::uint8_t gf256_div(std::uint8_t a, std::uint8_t b) {
+  if (a == 0) return 0;
+  return gf256_detail::kTables.exp[gf256_detail::kTables.log[a] + 255 -
+                                   gf256_detail::kTables.log[b]];
+}
+
+/// alpha^i (i any non-negative exponent).
+constexpr std::uint8_t gf256_exp(std::size_t i) {
+  return gf256_detail::kTables.exp[i % 255];
+}
+
+/// log_alpha(a). a must be nonzero.
+constexpr std::uint8_t gf256_log(std::uint8_t a) {
+  return gf256_detail::kTables.log[a];
+}
+
+/// Split-nibble multiply tables for one constant c (32 bytes: exactly
+/// two 16-byte vector registers). c·v = lo[v & 0xF] ^ hi[v >> 4] —
+/// valid because GF(2^8) multiplication is linear over the nibble
+/// decomposition v = (v & 0xF) ^ (v & 0xF0).
+struct Gf256NibbleTables {
+  std::uint8_t lo[16];
+  std::uint8_t hi[16];
+};
+
+/// All 256 constants' nibble tables (8 KiB, compile-time), indexed by c.
+const Gf256NibbleTables* gf256_nibble_tables();
+
+/// Decoding-failure probability after receiving `received` random
+/// GF(256) symbols of a k̂-symbol block: 1 if received < k̂, else the
+/// standard union bound q^-(received-k̂) · q/(q-1) for q = 256, clamped
+/// to 1. The GF(256) analogue of decode_failure_probability (Eq. 2):
+/// dense byte coefficients make a redundant draw ~128× less likely per
+/// extra symbol than GF(2), which is the reception-overhead side of the
+/// CTCP tradeoff.
+double gf256_decode_failure_probability(std::uint32_t k_hat,
+                                        double received);
+
+}  // namespace fmtcp::fountain

@@ -1,0 +1,251 @@
+#include "fountain/gf256_rlc.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "fountain/gf2.h"
+#include "fountain/gf256.h"
+#include "fountain/gf256_kernels.h"
+#include "obs/trace/span.h"
+
+namespace fmtcp::fountain {
+
+void gf256_coefficients_from_seed_into(std::uint64_t seed, std::uint32_t k,
+                                       std::vector<std::uint8_t>& out) {
+  out.resize(k);
+  Rng rng(seed);
+  for (;;) {
+    // Eight coefficient bytes per PRNG draw, little-endian like the
+    // GF(2) expansion, truncated to k.
+    for (std::uint32_t i = 0; i < k; i += 8) {
+      std::uint64_t w = rng.next_u64();
+      const std::uint32_t n = k - i < 8 ? k - i : 8;
+      std::memcpy(out.data() + i, &w, n);
+    }
+    for (std::uint32_t i = 0; i < k; ++i) {
+      if (out[i] != 0) return;
+    }
+    // All-zero draw (k < 8 only, in practice): re-roll deterministically.
+  }
+}
+
+void gf256_encode_with_coefficients_into(const BlockData& block,
+                                         const std::uint8_t* coeffs,
+                                         AlignedBytes& out) {
+  out.assign(block.symbol_bytes(), 0);
+  const Gf256KernelOps& ops = gf256_kernel();
+  // Fold batches of source symbols through one fused pass over the
+  // output, mirroring the GF(2) kXorBatch idiom.
+  const std::uint8_t* srcs[kXorBatch];
+  std::uint8_t cs[kXorBatch];
+  std::size_t n = 0;
+  for (std::uint32_t i = 0; i < block.symbols(); ++i) {
+    if (coeffs[i] == 0) continue;
+    srcs[n] = block.symbol(i);
+    cs[n] = coeffs[i];
+    if (++n == kXorBatch) {
+      ops.mul_accumulate(out.data(), srcs, cs, n, out.size());
+      n = 0;
+    }
+  }
+  if (n > 0) ops.mul_accumulate(out.data(), srcs, cs, n, out.size());
+}
+
+Gf256RlcEncoder::Gf256RlcEncoder(std::uint64_t block_id, BlockData block,
+                                 Rng rng, bool systematic)
+    : block_id_(block_id),
+      symbols_(block.symbols()),
+      symbol_bytes_(block.symbol_bytes()),
+      data_(std::move(block)),
+      rng_(rng),
+      systematic_(systematic) {}
+
+Gf256RlcEncoder::Gf256RlcEncoder(std::uint64_t block_id, std::uint32_t symbols,
+                                 std::size_t symbol_bytes, Rng rng,
+                                 bool systematic)
+    : block_id_(block_id),
+      symbols_(symbols),
+      symbol_bytes_(symbol_bytes),
+      rng_(rng),
+      systematic_(systematic) {
+  FMTCP_CHECK(symbols > 0);
+  FMTCP_CHECK(symbol_bytes > 0);
+}
+
+net::EncodedSymbol Gf256RlcEncoder::next_symbol() {
+  FMTCP_COUNT("codec.encode_symbol", 1);
+  net::EncodedSymbol s;
+  s.block = block_id_;
+  s.block_symbols = symbols_;
+  if (systematic_ && generated_ < symbols_) {
+    s.systematic_index = static_cast<std::uint32_t>(generated_);
+    if (data_.has_value()) {
+      if (pool_ != nullptr) s.data = pool_->acquire(symbol_bytes_);
+      const std::uint8_t* src = data_->symbol(s.systematic_index);
+      s.data.assign(src, src + symbol_bytes_);
+    }
+  } else {
+    s.coeff_seed = rng_.next_u64();
+    if (data_.has_value()) {
+      gf256_coefficients_from_seed_into(s.coeff_seed, symbols_,
+                                        coeff_scratch_);
+      if (pool_ != nullptr) s.data = pool_->acquire(symbol_bytes_);
+      gf256_encode_with_coefficients_into(*data_, coeff_scratch_.data(),
+                                          s.data);
+    }
+  }
+  ++generated_;
+  return s;
+}
+
+Gf256RlcDecoder::Gf256RlcDecoder(std::uint32_t symbols,
+                                 std::size_t symbol_bytes, bool track_data,
+                                 BufferPool* pool)
+    : symbols_(symbols),
+      symbol_bytes_(symbol_bytes),
+      track_data_(track_data),
+      pool_(pool),
+      stride_(track_data ? 2 * static_cast<std::size_t>(symbols)
+                         : static_cast<std::size_t>(symbols)),
+      rows_(symbols * stride_, 0),
+      present_((symbols + 63) / 64, 0),
+      scratch_record_(stride_, 0) {
+  FMTCP_CHECK(symbols > 0);
+  FMTCP_CHECK(symbol_bytes > 0);
+  if (track_data_) stored_.reserve(symbols);
+}
+
+bool Gf256RlcDecoder::add_symbol(const std::uint8_t* coeffs,
+                                 AlignedBytes&& data) {
+  ++received_;
+  if (complete()) {
+    // Late symbol for an already-decodable block: count and recycle.
+    ++redundant_;
+    if (pool_ != nullptr && !data.empty()) pool_->release(std::move(data));
+    return false;
+  }
+  const std::uint32_t k = symbols_;
+  std::uint8_t* rec = scratch_record_.data();
+  std::memcpy(rec, coeffs, k);
+  if (track_data_) {
+    // Composition starts as "this symbol alone"; elimination folds pivot
+    // rows' compositions in through the same fused suffix ops.
+    std::memset(rec + k, 0, k);
+    rec[k + stored_.size()] = 1;
+  }
+  const Gf256KernelOps& ops = gf256_kernel();
+  // Forward elimination with partial pivoting: scan for the first
+  // nonzero coefficient; eliminate while that column already has a
+  // pivot. Pivot row p has coeffs[<p] zero, so one fused mul_region over
+  // the record suffix [p, stride) handles coefficients and composition.
+  std::uint32_t p = 0;
+  while (p < k) {
+    if (rec[p] == 0) {
+      ++p;
+      continue;
+    }
+    if (!has_pivot(p)) break;
+    const std::uint8_t factor = rec[p];  // Pivot coefficient is 1.
+    ops.mul_region(rec + p, row(p) + p, factor, stride_ - p);
+    coeff_bytes_eliminated_ += stride_ - p;
+    // rec[p] is now zero by construction; continue at the next column.
+    ++p;
+  }
+  if (p == k) {
+    ++redundant_;
+    if (pool_ != nullptr && !data.empty()) pool_->release(std::move(data));
+    return false;
+  }
+  // Innovative: normalise so the pivot coefficient is 1 (bytes before p
+  // are zero already), then the row enters the arena at p.
+  const std::uint8_t inv = gf256_inv(rec[p]);
+  ops.scale_region(rec + p, inv, stride_ - p);
+  coeff_bytes_eliminated_ += stride_ - p;
+  std::memcpy(row(p), rec, stride_);
+  present_[p >> 6] |= 1ULL << (p & 63);
+  ++rank_;
+  if (track_data_) {
+    FMTCP_CHECK(data.size() == symbol_bytes_);
+    stored_.push_back(std::move(data));
+  } else if (pool_ != nullptr && !data.empty()) {
+    pool_->release(std::move(data));
+  }
+  return true;
+}
+
+bool Gf256RlcDecoder::add_symbol(net::EncodedSymbol&& symbol) {
+  FMTCP_CHECK(symbol.block_symbols == symbols_);
+  if (symbol.is_systematic()) {
+    FMTCP_CHECK(symbol.systematic_index < symbols_);
+    scratch_coeffs_.assign(symbols_, 0);
+    scratch_coeffs_[symbol.systematic_index] = 1;
+  } else {
+    gf256_coefficients_from_seed_into(symbol.coeff_seed, symbols_,
+                                      scratch_coeffs_);
+  }
+  return add_symbol(scratch_coeffs_.data(), std::move(symbol.data));
+}
+
+bool Gf256RlcDecoder::add_symbol(const net::EncodedSymbol& symbol) {
+  net::EncodedSymbol copy;
+  copy.block = symbol.block;
+  copy.block_symbols = symbol.block_symbols;
+  copy.coeff_seed = symbol.coeff_seed;
+  copy.systematic_index = symbol.systematic_index;
+  if (track_data_) copy.data = symbol.data;
+  return add_symbol(std::move(copy));
+}
+
+std::size_t Gf256RlcDecoder::buffered_bytes() const {
+  if (track_data_) {
+    std::size_t total = 0;
+    for (const AlignedBytes& s : stored_) total += s.size();
+    return total;
+  }
+  return static_cast<std::size_t>(rank_) * symbol_bytes_;
+}
+
+const BlockData& Gf256RlcDecoder::decode() {
+  if (decoded_.has_value()) return *decoded_;
+  FMTCP_CHECK(complete());
+  FMTCP_CHECK(track_data_);
+  FMTCP_SPAN("gf256.decode");
+  const std::uint32_t k = symbols_;
+  const Gf256KernelOps& ops = gf256_kernel();
+  // Back-substitution on the fused records, descending. Row p is final
+  // (coeffs = unit vector) once every row above has eliminated column p;
+  // the same fused suffix op as the online phase clears row q's
+  // coefficient p and folds row p's composition in.
+  for (std::uint32_t p = k; p-- > 0;) {
+    const std::uint8_t* rp = row(p);
+    for (std::uint32_t q = 0; q < p; ++q) {
+      std::uint8_t* rq = row(q);
+      const std::uint8_t c = rq[p];
+      if (c == 0) continue;
+      ops.mul_region(rq + p, rp + p, c, stride_ - p);
+      coeff_bytes_eliminated_ += stride_ - p;
+    }
+  }
+  // Materialise each source symbol as one fused multiply-accumulate of
+  // the stored payloads selected by its composition row.
+  decoded_.emplace(symbols_, symbol_bytes_);
+  std::vector<const std::uint8_t*> ptrs(stored_.size());
+  for (std::size_t j = 0; j < stored_.size(); ++j) ptrs[j] = stored_[j].data();
+  for (std::uint32_t p = 0; p < k; ++p) {
+    const std::uint8_t* comp = row(p) + k;
+    ops.mul_accumulate(decoded_->symbol(p), ptrs.data(), comp,
+                       stored_.size(), symbol_bytes_);
+    std::size_t nnz = 0;
+    for (std::size_t j = 0; j < stored_.size(); ++j) nnz += comp[j] != 0;
+    payload_bytes_multiplied_ += nnz * symbol_bytes_;
+    ++rows_composed_;
+  }
+  if (pool_ != nullptr) {
+    for (AlignedBytes& s : stored_) pool_->release(std::move(s));
+  }
+  stored_.clear();
+  return *decoded_;
+}
+
+}  // namespace fmtcp::fountain

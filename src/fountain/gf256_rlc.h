@@ -1,0 +1,189 @@
+// GF(256) random linear codec (CTCP-style ablation; PAPERS.md, Kim et
+// al.). The byte-coefficient sibling of random_linear.h + decoder.h:
+// each encoded symbol is c_n = sum_k rho_k · g_nk with g_nk drawn
+// uniformly from GF(256), carried on the wire as the same 64-bit seed the
+// GF(2) codec uses (both ends expand it into k coefficient bytes).
+//
+// Dense byte coefficients make a redundant reception ~128× less likely
+// per extra symbol than GF(2) (failure shrinks 256× per symbol instead
+// of 2×), at the price of multiply kernels instead of pure XOR in
+// elimination and composition — the overhead/decode-cost tradeoff the
+// bench_ablation_gf256 harness measures.
+//
+// The decoder mirrors BlockDecoder's two-phase lazy structure: the
+// online phase eliminates coefficient bytes only, recording per pivot
+// row a GF(256) composition vector over the raw stored payloads; payload
+// multiplies are deferred to decode(), where back-substitution runs on
+// the fused (coefficients | composition) records and each source symbol
+// is materialised as one fused multiply-accumulate pass over the stored
+// payloads. Rank-only mode touches zero payload bytes by construction.
+//
+// Elimination uses partial pivoting in the GF sense: the first nonzero
+// coefficient of a reduced row picks its pivot column, and the row is
+// normalised (pivot coefficient 1) on storage, so eliminating against a
+// pivot is a single fused mul_region over the record suffix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/buffer_pool.h"
+#include "common/rng.h"
+#include "fountain/block.h"
+#include "net/packet.h"
+
+namespace fmtcp::fountain {
+
+/// Expands a coefficient seed into the k coefficient bytes both ends
+/// agree on. All-zero draws are re-rolled deterministically, so the
+/// result always has at least one nonzero byte.
+void gf256_coefficients_from_seed_into(std::uint64_t seed, std::uint32_t k,
+                                       std::vector<std::uint8_t>& out);
+
+/// out = sum_i coeffs[i] · block.symbol(i) (resized and zeroed first, so
+/// a recycled buffer's capacity is reused). `coeffs` has block.symbols()
+/// bytes.
+void gf256_encode_with_coefficients_into(const BlockData& block,
+                                         const std::uint8_t* coeffs,
+                                         AlignedBytes& out);
+
+/// Stateful per-block GF(256) encoder, API-compatible with
+/// RandomLinearEncoder (payload / rank-only modes, optional systematic
+/// prefix, optional buffer pool) so the sender can hold either behind
+/// one interface (fountain/codec.h).
+class Gf256RlcEncoder {
+ public:
+  /// Payload mode: encodes real bytes from `block` (copied).
+  Gf256RlcEncoder(std::uint64_t block_id, BlockData block, Rng rng,
+                  bool systematic = false);
+
+  /// Rank-only mode: symbols have empty `data`.
+  Gf256RlcEncoder(std::uint64_t block_id, std::uint32_t symbols,
+                  std::size_t symbol_bytes, Rng rng, bool systematic = false);
+
+  /// Generates the next encoded symbol (source symbol while the
+  /// systematic prefix lasts, then fresh random byte coefficients).
+  net::EncodedSymbol next_symbol();
+
+  /// Optional buffer pool: when set, payload buffers for emitted symbols
+  /// are acquired from it instead of freshly allocated. The pool must
+  /// outlive the encoder. Does not affect the symbol stream.
+  void set_buffer_pool(BufferPool* pool) { pool_ = pool; }
+
+  bool systematic() const { return systematic_; }
+  std::uint64_t block_id() const { return block_id_; }
+  std::uint32_t symbols() const { return symbols_; }
+  std::size_t symbol_bytes() const { return symbol_bytes_; }
+  std::uint64_t generated_count() const { return generated_; }
+
+ private:
+  std::uint64_t block_id_;
+  std::uint32_t symbols_;
+  std::size_t symbol_bytes_;
+  std::optional<BlockData> data_;  ///< Absent in rank-only mode.
+  BufferPool* pool_ = nullptr;
+  Rng rng_;
+  bool systematic_ = false;
+  std::uint64_t generated_ = 0;
+  std::vector<std::uint8_t> coeff_scratch_;  ///< Reused per symbol.
+};
+
+/// Incremental GF(256) Gaussian-elimination decoder with lazy payloads.
+/// API-compatible subset of BlockDecoder (fountain/codec.h wraps both).
+class Gf256RlcDecoder {
+ public:
+  /// `track_data` false = rank-only mode (no payload bytes stored).
+  /// `pool`, when set, receives the payload buffers of dropped redundant
+  /// symbols and of stored symbols once the block has been decoded.
+  Gf256RlcDecoder(std::uint32_t symbols, std::size_t symbol_bytes,
+                  bool track_data, BufferPool* pool = nullptr);
+
+  /// Inserts a symbol given its k expanded coefficient bytes and
+  /// payload. Returns true if the symbol was innovative (rank grew).
+  /// Takes ownership of `data` without copying.
+  bool add_symbol(const std::uint8_t* coeffs, AlignedBytes&& data);
+
+  /// Inserts a wire symbol, taking ownership of its payload bytes
+  /// (coefficients regenerated from its seed, or a unit vector for
+  /// systematic symbols).
+  bool add_symbol(net::EncodedSymbol&& symbol);
+
+  /// Copying convenience overload (tests and observers). The payload is
+  /// only copied in track_data mode.
+  bool add_symbol(const net::EncodedSymbol& symbol);
+
+  /// Current number of linearly independent symbols, k̄_b.
+  std::uint32_t rank() const { return rank_; }
+
+  /// True when rank == k̂ (block decodable).
+  bool complete() const { return rank_ == symbols_; }
+
+  std::uint32_t symbols() const { return symbols_; }
+  std::size_t symbol_bytes() const { return symbol_bytes_; }
+
+  /// Total symbols fed in, including redundant ones.
+  std::uint64_t received_count() const { return received_; }
+
+  /// Symbols dropped as linearly dependent.
+  std::uint64_t redundant_count() const { return redundant_; }
+
+  /// Receive-buffer bytes this block currently pins (stored symbol rows;
+  /// rank-only mode counts the bytes the rows would occupy).
+  std::size_t buffered_bytes() const;
+
+  /// Recovers the original block. Requires complete() and track_data.
+  /// Idempotent; the first call performs back-substitution and the
+  /// deferred payload multiplies.
+  const BlockData& decode();
+
+  // --- Cost introspection ---
+  /// Payload bytes run through the multiply kernels (decode() only; the
+  /// online phase is coefficient-only, so this stays 0 until decode and
+  /// stays 0 forever in rank-only mode).
+  std::uint64_t payload_bytes_multiplied() const {
+    return payload_bytes_multiplied_;
+  }
+  /// Coefficient/composition bytes run through fused elimination ops.
+  std::uint64_t coeff_bytes_eliminated() const {
+    return coeff_bytes_eliminated_;
+  }
+  /// Source rows materialised at decode().
+  std::uint64_t rows_composed() const { return rows_composed_; }
+
+ private:
+  std::uint8_t* row(std::size_t p) { return rows_.data() + p * stride_; }
+  const std::uint8_t* row(std::size_t p) const {
+    return rows_.data() + p * stride_;
+  }
+  bool has_pivot(std::size_t p) const {
+    return ((present_[p >> 6] >> (p & 63)) & 1ULL) != 0;
+  }
+
+  std::uint32_t symbols_;
+  std::size_t symbol_bytes_;
+  bool track_data_;
+  BufferPool* pool_ = nullptr;
+  std::uint32_t rank_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t redundant_ = 0;
+  std::uint64_t payload_bytes_multiplied_ = 0;
+  std::uint64_t coeff_bytes_eliminated_ = 0;
+  std::uint64_t rows_composed_ = 0;
+  std::size_t stride_;  ///< Record bytes: 2k̂ (track) or k̂ (rank-only).
+  /// Flat fused row arena: record p = [coeffs | composition] at
+  /// p·stride_. Pivot row p has coeffs[<p] zero and coeffs[p] == 1;
+  /// absent rows zero.
+  AlignedBytes rows_;
+  std::vector<std::uint64_t> present_;  ///< Pivot-present bitmap.
+  AlignedBytes scratch_record_;         ///< Incoming record being reduced.
+  /// Raw payloads of stored (innovative) symbols, in arrival order; slot
+  /// j is what composition byte j refers to. Empty in rank-only mode.
+  std::vector<AlignedBytes> stored_;
+  std::vector<std::uint8_t> scratch_coeffs_;  ///< Seed expansion reuse.
+  std::optional<BlockData> decoded_;
+};
+
+}  // namespace fmtcp::fountain

@@ -1,0 +1,116 @@
+// GF(256) field-layer properties: the log/exp tables must realise a
+// field (randomized axiom checks), div/inv must invert mul exactly, and
+// the split-nibble tables the SIMD kernels load must agree with the
+// log/exp reference for every (constant, byte) pair.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "fountain/gf256.h"
+
+namespace fmtcp::fountain {
+namespace {
+
+/// Carry-less reference multiply straight from the polynomial
+/// definition — independent of the log/exp tables under test.
+std::uint8_t poly_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint16_t acc = 0;
+  std::uint16_t shifted = a;
+  for (int bit = 0; bit < 8; ++bit) {
+    if ((b >> bit) & 1) acc ^= shifted << bit;
+  }
+  for (int bit = 15; bit >= 8; --bit) {
+    if ((acc >> bit) & 1) acc ^= kGf256Poly << (bit - 8);
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+TEST(Gf256Field, MulMatchesPolynomialReferenceExhaustively) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      ASSERT_EQ(gf256_mul(static_cast<std::uint8_t>(a),
+                          static_cast<std::uint8_t>(b)),
+                poly_mul(static_cast<std::uint8_t>(a),
+                         static_cast<std::uint8_t>(b)))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Gf256Field, LogExpRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    EXPECT_EQ(gf256_exp(gf256_log(static_cast<std::uint8_t>(a))), a);
+  }
+  // alpha = 2 generates the multiplicative group: all 255 powers distinct.
+  bool seen[256] = {};
+  for (std::size_t i = 0; i < 255; ++i) {
+    const std::uint8_t v = gf256_exp(i);
+    ASSERT_NE(v, 0u);
+    ASSERT_FALSE(seen[v]) << "alpha^" << i << " repeats";
+    seen[v] = true;
+  }
+}
+
+TEST(Gf256Field, RandomizedFieldAxioms) {
+  Rng rng(256256);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto c = static_cast<std::uint8_t>(rng.next_below(256));
+    // Commutativity and associativity of ·.
+    ASSERT_EQ(gf256_mul(a, b), gf256_mul(b, a));
+    ASSERT_EQ(gf256_mul(gf256_mul(a, b), c), gf256_mul(a, gf256_mul(b, c)));
+    // Distributivity over the field's + (XOR).
+    ASSERT_EQ(gf256_mul(a, b ^ c),
+              static_cast<std::uint8_t>(gf256_mul(a, b) ^ gf256_mul(a, c)));
+    // Identities and annihilator.
+    ASSERT_EQ(gf256_mul(a, 1), a);
+    ASSERT_EQ(gf256_mul(a, 0), 0);
+  }
+}
+
+TEST(Gf256Field, InverseAndDivision) {
+  for (int a = 1; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    ASSERT_EQ(gf256_mul(ua, gf256_inv(ua)), 1) << "a=" << a;
+  }
+  Rng rng(77);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(1 + rng.next_below(255));
+    ASSERT_EQ(gf256_mul(gf256_div(a, b), b), a);
+    ASSERT_EQ(gf256_div(a, b), gf256_mul(a, gf256_inv(b)));
+  }
+  EXPECT_EQ(gf256_div(0, 7), 0);
+}
+
+TEST(Gf256Field, NibbleTablesMatchLogExpMulForAllPairs) {
+  const Gf256NibbleTables* tables = gf256_nibble_tables();
+  for (int c = 0; c < 256; ++c) {
+    const Gf256NibbleTables& t = tables[c];
+    for (int v = 0; v < 256; ++v) {
+      const std::uint8_t via_tables =
+          static_cast<std::uint8_t>(t.lo[v & 0x0F] ^ t.hi[v >> 4]);
+      ASSERT_EQ(via_tables, gf256_mul(static_cast<std::uint8_t>(c),
+                                      static_cast<std::uint8_t>(v)))
+          << "c=" << c << " v=" << v;
+    }
+  }
+}
+
+TEST(Gf256Field, DecodeFailureProbabilityShape) {
+  // Below k̂: certain failure. At k̂ + m: shrinks by 256× per extra
+  // symbol and sits far below the GF(2) 2^-m bound.
+  EXPECT_EQ(gf256_decode_failure_probability(64, 63.0), 1.0);
+  const double at_k = gf256_decode_failure_probability(64, 64.0);
+  EXPECT_LE(at_k, 1.0);
+  const double at_k1 = gf256_decode_failure_probability(64, 65.0);
+  const double at_k2 = gf256_decode_failure_probability(64, 66.0);
+  EXPECT_NEAR(at_k1 / at_k2, 256.0, 1e-6);
+  EXPECT_LT(at_k1, std::exp2(-1.0));
+}
+
+}  // namespace
+}  // namespace fmtcp::fountain

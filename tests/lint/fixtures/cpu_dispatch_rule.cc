@@ -19,10 +19,12 @@ bool bad_cpuid_count() {
 }
 unsigned long bad_auxv() { return getauxval(16); }  // EXPECT-LINT(cpu-dispatch)
 
-// Sanctioned: the one probe site, justified so review sees it.
-bool good_probe() {
+// A justified NOLINT does NOT sanction a probe here: only the dispatch
+// TU (cpu_features.cc — see the cpu_features_tu.cc-style fixture named
+// cpu_features.cc) may probe, however good the reason.
+bool bad_nolint_outside_dispatch_tu() {
   // NOLINT-DETERMINISM(kernel dispatch only; all variants bit-identical)
-  return __builtin_cpu_supports("sse2");
+  return __builtin_cpu_supports("sse2");                // EXPECT-LINT(cpu-dispatch)
 }
 
 // Clean: identifiers merely containing the banned names.

@@ -1,0 +1,17 @@
+// Fixture for lint_determinism rule `cpu-dispatch`, dispatch-TU side.
+// Not compiled — scanned by tools/lint_determinism.py --self-test. This
+// file's basename matches the one TU allowed to probe the CPU
+// (src/common/cpu_features.cc), so a justified NOLINT is honored here —
+// and only here.
+#include <cpuid.h>
+
+// Sanctioned: the probe site, justified so review sees it.
+bool good_probe_in_dispatch_tu() {
+  // NOLINT-DETERMINISM(kernel dispatch only; all variants bit-identical)
+  return __builtin_cpu_supports("avx2");
+}
+
+// Even in the dispatch TU, a probe still needs its NOLINT reason.
+bool bad_unjustified_probe() {
+  return __builtin_cpu_supports("ssse3");  // EXPECT-LINT(cpu-dispatch)
+}

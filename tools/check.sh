@@ -152,6 +152,15 @@ cmake --build "$build" -j "$(nproc)"
 python3 -m json.tool "$build/check_spans.json" > /dev/null
 python3 -m json.tool "$build/check_metrics.json" > /dev/null
 
+# The GF(256) ablation codec end to end under the sanitizers: once on
+# the host-dispatched multiply kernel, once pinned to scalar (results
+# must not depend on the kernel; ctest's *_scalar_kernel legs cover the
+# suites, this covers the full protocol path).
+"$build/tools/fmtcp_sim" --protocol=fmtcp --coding=gf256 --loss2=0.15 \
+  --duration=5 > /dev/null
+FMTCP_FORCE_KERNEL=scalar "$build/tools/fmtcp_sim" --protocol=fmtcp \
+  --coding=gf256 --loss2=0.15 --duration=5 > /dev/null
+
 # Grid-sweep determinism smoke: a small grid must stream byte-identical
 # JSONL at any job count, and resuming from a torn file (half the lines
 # plus a truncated tail) must reproduce the same bytes without

@@ -21,6 +21,7 @@
 #include "common/check.h"
 #include "common/flags.h"
 #include "common/logging.h"
+#include "fountain/coding_field.h"
 #include "harness/runner.h"
 #include "harness/sweep.h"
 #include "net/trace.h"
@@ -156,6 +157,15 @@ int main(int argc, char** argv) {
       "delta", options.fmtcp.delta_hat, "max decode-failure prob");
   options.fmtcp.systematic =
       flags.get_bool("systematic", false, "systematic fountain code");
+  const std::string coding_name = flags.get_string(
+      "coding", "gf2", "coefficient field: gf2 | gf256");
+  if (const auto field = fountain::parse_coding_field(coding_name.c_str())) {
+    options.fmtcp.coding_field = *field;
+  } else {
+    std::fprintf(stderr, "unknown --coding '%s' (gf2|gf256)\n",
+                 coding_name.c_str());
+    return 2;
+  }
   options.sack = flags.get_bool("sack", false, "enable SACK");
   options.delayed_acks =
       flags.get_bool("delayed_acks", false, "RFC1122 delayed ACKs");

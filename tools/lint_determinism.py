@@ -25,7 +25,12 @@ determinism test would have to catch the symptom:
                   host CPU probing. Feature-based dispatch is allowed
                   to change throughput, never a result; every probe
                   must live behind common/cpu_features with a
-                  documented NOLINT so review sees each site.
+                  documented NOLINT so review sees each site. A NOLINT
+                  on this rule is only honored inside the dispatch TU
+                  itself (cpu_features.cc) — both the GF(2) and GF(256)
+                  kernel planes read the probed CpuFeatures struct, and
+                  a raw probe anywhere else (even a justified one) would
+                  fork the dispatch decision per call site.
   pointer-key     std::map/set (or unordered_) keyed on a pointer —
                   iteration order is address order, i.e. allocator
                   behaviour; and identical content at distinct
@@ -66,6 +71,11 @@ ALLOWLIST = ("src/obs",)
 EXTENSIONS = (".h", ".cc")
 
 NOLINT_RE = re.compile(r"//\s*NOLINT-DETERMINISM\s*(?:\(([^)]*)\))?")
+
+# The one TU allowed to probe the CPU, even with a NOLINT reason. Matched
+# by basename so explicit-path scans and self-test fixtures behave the
+# same as the default tree walk.
+CPU_DISPATCH_TU_BASENAME = "cpu_features.cc"
 
 
 @dataclass(frozen=True)
@@ -242,6 +252,20 @@ def scan_lines(path: str, lines: list[str]) -> list[Finding]:
 
         for rule in hits:
             if number in suppressed:
+                if (
+                    rule.name == "cpu-dispatch"
+                    and os.path.basename(path) != CPU_DISPATCH_TU_BASENAME
+                ):
+                    findings.append(
+                        Finding(
+                            path,
+                            number,
+                            "cpu-dispatch",
+                            "CPU probe NOLINT'd outside the dispatch TU "
+                            "(common/cpu_features.cc); read the probed "
+                            "features via common/cpu_features.h instead",
+                        )
+                    )
                 continue
             findings.append(Finding(path, number, rule.name, rule.message))
     return findings
